@@ -1,0 +1,338 @@
+package overcast_test
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates its experiment on a scaled-down deterministic instance so the
+// full suite stays tractable; `cmd/experiments -scale paper` runs the
+// full-size versions and prints the same rows/series the paper reports.
+
+import (
+	"testing"
+
+	"overcast/internal/experiments"
+	"overcast/internal/stats"
+)
+
+// benchSettingA is the scaled Sec. III-B environment shared by the
+// Table II/IV and Fig. 2-11 benches.
+func benchSettingA(b *testing.B) *experiments.SettingA {
+	b.Helper()
+	a, err := experiments.NewSettingA(7, experiments.SettingAConfig{
+		Nodes: 60, SessionSizes: []int{6, 4}, Demand: 100, Capacity: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+var benchRatios = []float64{0.90, 0.95}
+
+func BenchmarkTable2MaxFlow(b *testing.B) {
+	a := benchSettingA(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.MaxFlowSweep(benchRatios, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2TreeRateCDF(b *testing.B) {
+	a := benchSettingA(b)
+	_, sols, err := a.MaxFlowSweep(benchRatios, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sol := range sols {
+			curves := experiments.RateCDFs(sol)
+			if len(curves) == 0 {
+				b.Fatal("no curves")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4MaxConcurrentFlow(b *testing.B) {
+	a := benchSettingA(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.MCFSweep([]float64{0.90}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3MCFTreeRateCDF(b *testing.B) {
+	a := benchSettingA(b)
+	_, sols, err := a.MCFSweep([]float64{0.90}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves := experiments.RateCDFs(sols[0])
+		if len(curves) == 0 {
+			b.Fatal("no curves")
+		}
+	}
+}
+
+func BenchmarkFig4LinkUtilization(b *testing.B) {
+	a := benchSettingA(b)
+	_, mfSols, err := a.MaxFlowSweep([]float64{0.95}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, mcfSols, err := a.MCFSweep([]float64{0.90}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.LinkUtilizationCDF(mfSols[0])) == 0 ||
+			len(experiments.LinkUtilizationCDF(mcfSols[0])) == 0 {
+			b.Fatal("no curves")
+		}
+	}
+}
+
+func benchTreeLimitCfg(arbitrary bool) experiments.TreeLimitConfig {
+	return experiments.TreeLimitConfig{
+		MaxTrees:  []int{1, 5, 10},
+		Mus:       []float64{30},
+		Trials:    4,
+		BaseRatio: 0.92,
+		Arbitrary: arbitrary,
+	}
+}
+
+func BenchmarkFig5RandomAndOnlineThroughput(b *testing.B) {
+	a := benchSettingA(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.TreeLimitSweep(benchTreeLimitCfg(false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6TreesUsed(b *testing.B) {
+	a := benchSettingA(b)
+	res, err := a.TreeLimitSweep(benchTreeLimitCfg(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := experiments.RenderTreeLimit(res)
+		if len(out) == 0 {
+			b.Fatal("no render")
+		}
+	}
+}
+
+func BenchmarkTable7ArbitraryRouting(b *testing.B) {
+	a := benchSettingA(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.MaxFlowSweep([]float64{0.90}, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8MCFArbitraryRouting(b *testing.B) {
+	a := benchSettingA(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.MCFSweep([]float64{0.90}, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7to9ArbitraryCDFs(b *testing.B) {
+	a := benchSettingA(b)
+	_, sols, err := a.MaxFlowSweep([]float64{0.90}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.RateCDFs(sols[0])) == 0 ||
+			len(experiments.LinkUtilizationCDF(sols[0])) == 0 {
+			b.Fatal("no curves")
+		}
+	}
+}
+
+func BenchmarkFig10to11OnlineArbitrary(b *testing.B) {
+	a := benchSettingA(b)
+	cfg := benchTreeLimitCfg(true)
+	cfg.MaxTrees = []int{1, 5}
+	cfg.Trials = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.TreeLimitSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSettingB is the scaled Sec. VI environment shared by the Fig. 12-19
+// benches.
+func benchSettingB(b *testing.B) *experiments.SettingB {
+	b.Helper()
+	sb, err := experiments.NewSettingB(11, experiments.SettingBConfig{ASes: 3, RoutersPerAS: 10, Capacity: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sb
+}
+
+func benchGridCfg() experiments.GridConfig {
+	return experiments.GridConfig{
+		SessionCounts: []int{1, 3},
+		SessionSizes:  []int{4, 8},
+		Ratio:         0.92,
+		Demand:        1,
+	}
+}
+
+func gridFor(b *testing.B) *experiments.GridResult {
+	b.Helper()
+	sb := benchSettingB(b)
+	res, err := sb.Grid(benchGridCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkFig12ThroughputSurface(b *testing.B) {
+	sb := benchSettingB(b)
+	cfg := benchGridCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sb.Grid(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Throughput.At(1, 4) <= 0 {
+			b.Fatal("empty surface")
+		}
+	}
+}
+
+func BenchmarkFig13EdgesPerNode(b *testing.B) {
+	res := gridFor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res.EdgesPerNode.Render() == "" {
+			b.Fatal("no surface")
+		}
+	}
+}
+
+func BenchmarkFig14UtilizationPanels(b *testing.B) {
+	res := gridFor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cell := range res.Cells {
+			if stats.RenderCurve(cell.MFUtilCDF, 16) == "" || stats.RenderCurve(cell.MCFUtilCDF, 16) == "" {
+				b.Fatal("missing panel")
+			}
+		}
+	}
+}
+
+func BenchmarkFig15MinRateSurface(b *testing.B) {
+	res := gridFor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res.MinRate.Render() == "" {
+			b.Fatal("no surface")
+		}
+	}
+}
+
+func BenchmarkFig16ThroughputRatioSurface(b *testing.B) {
+	res := gridFor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res.ThroughputRatio.Render() == "" {
+			b.Fatal("no surface")
+		}
+	}
+}
+
+func BenchmarkFig17AsymmetryVsSize(b *testing.B) {
+	res := gridFor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cell := range res.Cells {
+			if cell.Sessions == 1 && len(cell.MFTreeRateCDF) == 0 {
+				b.Fatal("missing CDF")
+			}
+		}
+	}
+}
+
+func BenchmarkFig18OnlineThroughputRatio(b *testing.B) {
+	sb := benchSettingB(b)
+	cfg := benchGridCfg()
+	cfg.SessionCounts = []int{2}
+	cfg.SessionSizes = []int{4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sb.OnlineGrid(cfg, []int{2, 6}, 10, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ThroughputRatio[6].At(2, 4) <= 0 {
+			b.Fatal("empty ratio")
+		}
+	}
+}
+
+func BenchmarkFig19OnlineMinRateRatio(b *testing.B) {
+	sb := benchSettingB(b)
+	cfg := benchGridCfg()
+	cfg.SessionCounts = []int{2}
+	cfg.SessionSizes = []int{4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sb.OnlineGrid(cfg, []int{4}, 10, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MinRateRatio[4].At(2, 4) <= 0 {
+			b.Fatal("empty ratio")
+		}
+	}
+}
+
+// BenchmarkTreePacking covers the Fig. 1 packing-spanning-trees subproblem
+// via the public MaxFlow path on a complete session (the K4 strength-2
+// instance).
+func BenchmarkTreePacking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := newK4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := newK4System(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alloc, err := sys.MaxFlow(0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if alloc.SessionRate(0) < 18 {
+			b.Fatalf("K4 packing rate %v", alloc.SessionRate(0))
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale small|paper] [-seed N] [-trials N] [-maxpts N] [exp ...]
+//
+// where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
+// table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+// fig15, fig16, fig17, fig18, fig19, or "all". With no arguments the
+// Setting-A experiments (table2..fig11) run.
+//
+// -scale small (default) runs reduced instances in seconds; -scale paper
+// reproduces the paper's instance sizes (100-node Waxman, 10x100 two-level
+// topology, ratio sweep 0.90..0.99) and can take hours for the Sec. VI
+// grid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"overcast/internal/experiments"
+	"overcast/internal/stats"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "instance scale: small or paper")
+	seed := flag.Uint64("seed", 2004, "experiment seed")
+	trials := flag.Int("trials", 0, "override trial count for averaged sweeps (0 = scale default)")
+	maxpts := flag.Int("maxpts", 12, "max points printed per curve")
+	flag.Parse()
+
+	exps := flag.Args()
+	if len(exps) == 0 {
+		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
+			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11"}
+	}
+	if len(exps) == 1 && exps[0] == "all" {
+		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
+			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19"}
+	}
+
+	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts}
+	for _, e := range exps {
+		start := time.Now()
+		if err := r.run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+type runner struct {
+	scale  string
+	seed   uint64
+	trials int
+	maxpts int
+
+	settingA *experiments.SettingA
+	settingB *experiments.SettingB
+}
+
+func (r *runner) ratios() []float64 {
+	if r.scale == "paper" {
+		return experiments.PaperRatios
+	}
+	return []float64{0.90, 0.93, 0.95}
+}
+
+func (r *runner) a() (*experiments.SettingA, error) {
+	if r.settingA != nil {
+		return r.settingA, nil
+	}
+	cfg := experiments.DefaultSettingA()
+	if r.scale != "paper" {
+		cfg = experiments.SettingAConfig{Nodes: 60, SessionSizes: []int{6, 4}, Demand: 100, Capacity: 100}
+	}
+	a, err := experiments.NewSettingA(r.seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.settingA = a
+	return a, nil
+}
+
+func (r *runner) b() (*experiments.SettingB, error) {
+	if r.settingB != nil {
+		return r.settingB, nil
+	}
+	cfg := experiments.DefaultSettingB()
+	if r.scale != "paper" {
+		cfg = experiments.SettingBConfig{ASes: 3, RoutersPerAS: 12, Capacity: 100}
+	}
+	b, err := experiments.NewSettingB(r.seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.settingB = b
+	return b, nil
+}
+
+func (r *runner) gridCfg() experiments.GridConfig {
+	if r.scale == "paper" {
+		return experiments.DefaultGrid()
+	}
+	return experiments.GridConfig{
+		SessionCounts: []int{1, 2, 3},
+		SessionSizes:  []int{4, 8, 12},
+		Ratio:         0.93,
+		Demand:        1,
+	}
+}
+
+func (r *runner) treeLimitCfg(arbitrary bool) experiments.TreeLimitConfig {
+	cfg := experiments.DefaultTreeLimit()
+	cfg.Arbitrary = arbitrary
+	if r.scale != "paper" {
+		cfg.MaxTrees = []int{1, 2, 5, 10, 15, 20}
+		cfg.Mus = []float64{10, 30, 100}
+		cfg.Trials = 10
+		cfg.BaseRatio = 0.93
+	}
+	if r.trials > 0 {
+		cfg.Trials = r.trials
+	}
+	return cfg
+}
+
+func (r *runner) onlineTrials() int {
+	if r.trials > 0 {
+		return r.trials
+	}
+	if r.scale == "paper" {
+		return 100
+	}
+	return 5
+}
+
+func (r *runner) run(exp string) error {
+	switch exp {
+	case "table2", "table7":
+		arb := exp == "table7"
+		a, err := r.a()
+		if err != nil {
+			return err
+		}
+		rows, _, err := a.MaxFlowSweep(r.ratios(), arb)
+		if err != nil {
+			return err
+		}
+		title := "Table II: MaxFlow (fixed IP routing)"
+		if arb {
+			title = "Table VII: MaxFlow (arbitrary routing)"
+		}
+		fmt.Print(experiments.RenderFlowTable(title, rows))
+	case "fig2", "fig7":
+		arb := exp == "fig7"
+		a, err := r.a()
+		if err != nil {
+			return err
+		}
+		ratios := r.ratios()
+		_, sols, err := a.MaxFlowSweep(ratios, arb)
+		if err != nil {
+			return err
+		}
+		for ri, sol := range sols {
+			curves := experiments.RateCDFs(sol)
+			labels := make([]string, len(curves))
+			for i := range labels {
+				labels[i] = fmt.Sprintf("session %d", i+1)
+			}
+			fmt.Print(experiments.RenderCDFFamily(
+				fmt.Sprintf("%s: tree-rate CDF at ratio %.2f", exp, ratios[ri]), labels, curves, r.maxpts))
+		}
+	case "table4", "table8":
+		arb := exp == "table8"
+		a, err := r.a()
+		if err != nil {
+			return err
+		}
+		rows, _, err := a.MCFSweep(r.ratios(), arb)
+		if err != nil {
+			return err
+		}
+		title := "Table IV: MaxConcurrentFlow (fixed IP routing)"
+		if arb {
+			title = "Table VIII: MaxConcurrentFlow (arbitrary routing)"
+		}
+		fmt.Print(experiments.RenderMCFTable(title, rows))
+	case "fig3", "fig8":
+		arb := exp == "fig8"
+		a, err := r.a()
+		if err != nil {
+			return err
+		}
+		ratios := r.ratios()
+		_, sols, err := a.MCFSweep(ratios, arb)
+		if err != nil {
+			return err
+		}
+		for ri, sol := range sols {
+			curves := experiments.RateCDFs(sol)
+			labels := make([]string, len(curves))
+			for i := range labels {
+				labels[i] = fmt.Sprintf("session %d", i+1)
+			}
+			fmt.Print(experiments.RenderCDFFamily(
+				fmt.Sprintf("%s: MCF tree-rate CDF at ratio %.2f", exp, ratios[ri]), labels, curves, r.maxpts))
+		}
+	case "fig4", "fig9":
+		arb := exp == "fig9"
+		a, err := r.a()
+		if err != nil {
+			return err
+		}
+		_, mf, err := a.MaxFlowSweep([]float64{0.95}, arb)
+		if err != nil {
+			return err
+		}
+		_, mcf, err := a.MCFSweep([]float64{0.95}, arb)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderCDFFamily(exp+": link utilization",
+			[]string{"MaxFlow", "MaxConcurrentFlow"},
+			[][]stats.Point{experiments.LinkUtilizationCDF(mf[0]), experiments.LinkUtilizationCDF(mcf[0])},
+			r.maxpts))
+	case "fig5", "fig6", "fig10", "fig11":
+		arb := exp == "fig10" || exp == "fig11"
+		a, err := r.a()
+		if err != nil {
+			return err
+		}
+		res, err := a.TreeLimitSweep(r.treeLimitCfg(arb))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTreeLimit(res))
+	case "fig12", "fig13", "fig14", "fig15", "fig16", "fig17":
+		b, err := r.b()
+		if err != nil {
+			return err
+		}
+		grid, err := b.Grid(r.gridCfg())
+		if err != nil {
+			return err
+		}
+		switch exp {
+		case "fig12":
+			fmt.Println("Fig 12: overall throughput (MaxFlow)")
+			fmt.Print(grid.Throughput.Render())
+		case "fig13":
+			fmt.Println("Fig 13: physical edges per node")
+			fmt.Print(grid.EdgesPerNode.Render())
+		case "fig14":
+			fmt.Println("Fig 14: link utilization panels")
+			keys := make([][2]int, 0, len(grid.Cells))
+			for k := range grid.Cells {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i][0] != keys[j][0] {
+					return keys[i][0] < keys[j][0]
+				}
+				return keys[i][1] < keys[j][1]
+			})
+			for _, k := range keys {
+				cell := grid.Cells[k]
+				fmt.Print(experiments.RenderCDFFamily(
+					fmt.Sprintf("sessions=%d size=%d", cell.Sessions, cell.Size),
+					[]string{"MaxConcurrentFlow", "MaxFlow"},
+					[][]stats.Point{cell.MCFUtilCDF, cell.MFUtilCDF}, r.maxpts))
+			}
+		case "fig15":
+			fmt.Println("Fig 15: minimum session rate (MaxConcurrentFlow)")
+			fmt.Print(grid.MinRate.Render())
+		case "fig16":
+			fmt.Println("Fig 16: throughput ratio MCF/MF")
+			fmt.Print(grid.ThroughputRatio.Render())
+		case "fig17":
+			fmt.Println("Fig 17: tree-rate CDF vs session size (single session, MaxFlow)")
+			for _, k := range sortedKeys(grid) {
+				cell := grid.Cells[k]
+				if cell.Sessions != 1 {
+					continue
+				}
+				fmt.Printf("-- size %d\n%s", cell.Size, stats.RenderCurve(cell.MFTreeRateCDF, r.maxpts))
+			}
+		}
+	case "fig18", "fig19":
+		b, err := r.b()
+		if err != nil {
+			return err
+		}
+		limits := []int{5, 60}
+		if r.scale != "paper" {
+			limits = []int{5, 15}
+		}
+		res, err := b.OnlineGrid(r.gridCfg(), limits, 10, r.onlineTrials())
+		if err != nil {
+			return err
+		}
+		for _, l := range limits {
+			if exp == "fig18" {
+				fmt.Printf("Fig 18: online/MaxFlow throughput ratio, %d trees\n", l)
+				fmt.Print(res.ThroughputRatio[l].Render())
+			} else {
+				fmt.Printf("Fig 19: online/MCF min-rate ratio, %d trees\n", l)
+				fmt.Print(res.MinRateRatio[l].Render())
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func sortedKeys(grid *experiments.GridResult) [][2]int {
+	keys := make([][2]int, 0, len(grid.Cells))
+	for k := range grid.Cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}

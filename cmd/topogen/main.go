@@ -1,0 +1,100 @@
+// Command topogen generates BRITE-style topologies and prints them as an
+// edge list (TSV: u, v, capacity, delay) plus summary statistics, for use
+// by external tools or for inspecting the networks the experiments run on.
+//
+// Usage:
+//
+//	topogen [-model waxman|ba|twolevel] [-nodes N] [-ases A] [-routers R]
+//	        [-capacity C] [-seed S] [-stats]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"overcast/internal/rng"
+	"overcast/internal/topology"
+)
+
+func main() {
+	model := flag.String("model", "waxman", "waxman | ba | twolevel")
+	nodes := flag.Int("nodes", 100, "node count (waxman/ba)")
+	ases := flag.Int("ases", 10, "AS count (twolevel)")
+	routers := flag.Int("routers", 100, "routers per AS (twolevel)")
+	capacity := flag.Float64("capacity", 100, "uniform link capacity")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	statsOnly := flag.Bool("stats", false, "print summary statistics only")
+	flag.Parse()
+
+	net, err := generate(*model, *nodes, *ases, *routers, *capacity, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+
+	if *statsOnly {
+		printStats(net)
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	delays := net.LinkDelays()
+	fmt.Fprintf(w, "# %s: %d nodes, %d edges\n", net.Name, net.Graph.NumNodes(), net.Graph.NumEdges())
+	fmt.Fprintln(w, "# u\tv\tcapacity\tdelay")
+	for e, edge := range net.Graph.Edges {
+		fmt.Fprintf(w, "%d\t%d\t%g\t%.3f\n", edge.U, edge.V, edge.Capacity, delays[e])
+	}
+}
+
+func generate(model string, nodes, ases, routers int, capacity float64, seed uint64) (*topology.Network, error) {
+	r := rng.New(seed)
+	switch model {
+	case "waxman":
+		cfg := topology.DefaultWaxman(nodes)
+		cfg.Capacity = capacity
+		return topology.Waxman(cfg, r)
+	case "ba":
+		return topology.BarabasiAlbert(nodes, 2, capacity, r)
+	case "twolevel":
+		cfg := topology.DefaultTwoLevel(ases, routers)
+		cfg.Capacity = capacity
+		return topology.TwoLevel(cfg, r)
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func printStats(net *topology.Network) {
+	g := net.Graph
+	degrees := make([]int, g.NumNodes())
+	for v := range degrees {
+		degrees[v] = g.Degree(v)
+	}
+	sort.Ints(degrees)
+	sum := 0
+	for _, d := range degrees {
+		sum += d
+	}
+	fmt.Printf("model:      %s\n", net.Name)
+	fmt.Printf("nodes:      %d\n", g.NumNodes())
+	fmt.Printf("edges:      %d\n", g.NumEdges())
+	fmt.Printf("connected:  %v\n", g.Connected())
+	fmt.Printf("capacity:   total %.0f, min %.0f\n", g.TotalCapacity(), g.MinCapacity())
+	if len(degrees) > 0 {
+		fmt.Printf("degree:     min %d, median %d, max %d, mean %.2f\n",
+			degrees[0], degrees[len(degrees)/2], degrees[len(degrees)-1],
+			float64(sum)/float64(len(degrees)))
+	}
+	if net.ASOf != nil {
+		inter := 0
+		for _, e := range g.Edges {
+			if net.ASOf[e.U] != net.ASOf[e.V] {
+				inter++
+			}
+		}
+		fmt.Printf("inter-AS:   %d links\n", inter)
+	}
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"testing"
+
+	"overcast/internal/core"
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+	"overcast/internal/topology"
+)
+
+func testProblem(t testing.TB, seed uint64, sizes []int) *core.Problem {
+	t.Helper()
+	r := rng.New(seed)
+	net, err := topology.Waxman(topology.DefaultWaxman(40), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := r.Perm(40)
+	var sessions []*overlay.Session
+	off := 0
+	for i, sz := range sizes {
+		s, err := overlay.NewSession(i, perm[off:off+sz], 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+		off += sz
+	}
+	p, err := core.NewProblem(net.Graph, sessions, core.RoutingIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSingleTreeFeasibleOneTreePerSession(t *testing.T) {
+	p := testProblem(t, 1, []int{6, 4})
+	sol, err := SingleTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.CheckFeasible(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Sessions {
+		if sol.TreeCount(i) != 1 {
+			t.Fatalf("session %d has %d trees", i, sol.TreeCount(i))
+		}
+		if sol.SessionRate(i) <= 0 {
+			t.Fatalf("session %d rate %v", i, sol.SessionRate(i))
+		}
+	}
+}
+
+func TestSplitStreamInteriorNodeDisjoint(t *testing.T) {
+	p := testProblem(t, 2, []int{5})
+	sol, err := SplitStream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.CheckFeasible(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	flows := sol.Flows[0]
+	if len(flows) != 5 {
+		t.Fatalf("expected 5 stripes, got %d", len(flows))
+	}
+	// Stripe h must be the star on member h: every overlay pair touches h.
+	for _, tf := range flows {
+		counts := map[int]int{}
+		for _, pr := range tf.Tree.Pairs {
+			counts[pr[0]]++
+			counts[pr[1]]++
+		}
+		hubs := 0
+		for _, c := range counts {
+			if c > 1 {
+				hubs++
+			}
+		}
+		if hubs > 1 {
+			t.Fatalf("stripe has %d interior members, want <=1 (pairs %v)", hubs, tf.Tree.Pairs)
+		}
+	}
+}
+
+func TestSplitStreamTwoMemberSession(t *testing.T) {
+	p := testProblem(t, 3, []int{2})
+	sol, err := SplitStream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.TreeCount(0) != 1 {
+		t.Fatalf("2-member session should have 1 stripe, got %d", sol.TreeCount(0))
+	}
+}
+
+func TestRandomForestFeasibleAndBounded(t *testing.T) {
+	p := testProblem(t, 4, []int{5, 3})
+	sol, err := RandomForest(p, 8, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.CheckFeasible(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Sessions {
+		if c := sol.TreeCount(i); c < 1 || c > 8 {
+			t.Fatalf("session %d tree count %d", i, c)
+		}
+	}
+	if _, err := RandomForest(p, 0, rng.New(1)); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestMultiTreeOptimumBeatsBaselines(t *testing.T) {
+	// The paper's core motivation: the MaxFlow multi-tree optimum dominates
+	// the single-tree and SplitStream baselines in overall throughput.
+	p := testProblem(t, 5, []int{6, 4})
+	opt, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := SingleTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SplitStream(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := RandomForest(p, 5, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ot := opt.OverallThroughput()
+	for name, sol := range map[string]*core.Solution{
+		"single": single, "splitstream": split, "randomforest": rf,
+	} {
+		if bt := sol.OverallThroughput(); bt > ot*1.01 {
+			t.Fatalf("%s throughput %v exceeds optimum %v", name, bt, ot)
+		}
+	}
+	if single.OverallThroughput() >= ot {
+		t.Fatalf("single tree should not reach the multi-tree optimum: %v vs %v",
+			single.OverallThroughput(), ot)
+	}
+}
+
+func TestBaselinesDeterministicPerSeed(t *testing.T) {
+	p := testProblem(t, 6, []int{4, 3})
+	a, err := RandomForest(p, 6, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomForest(p, 6, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Sessions {
+		if a.SessionRate(i) != b.SessionRate(i) || a.TreeCount(i) != b.TreeCount(i) {
+			t.Fatalf("RandomForest not deterministic for session %d", i)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package churn generates dynamic session workloads: sessions arrive as a
+// Poisson process, live for exponentially distributed durations, and leave.
+// The paper highlights "topological variability — new sessions may join and
+// existing sessions may terminate over time" as a defining property of
+// overlay networks; this package supplies the deterministic, seedable
+// workloads under which the online allocator's behaviour is evaluated.
+package churn
+
+import (
+	"fmt"
+	"sort"
+
+	"overcast/internal/rng"
+)
+
+// SessionSpec describes one session of a workload.
+type SessionSpec struct {
+	Members []int
+	Demand  float64
+	// Arrive and Depart are the session's lifetime endpoints.
+	Arrive, Depart float64
+}
+
+// EventKind discriminates workload events.
+type EventKind int
+
+const (
+	// Join admits the session.
+	Join EventKind = iota
+	// Leave removes it.
+	Leave
+)
+
+// Event is one workload event; Session indexes Workload.Sessions.
+type Event struct {
+	Time    float64
+	Kind    EventKind
+	Session int
+}
+
+// Workload is a fully materialized churn trace.
+type Workload struct {
+	Sessions []SessionSpec
+	// Events are sorted by time (joins before leaves at equal times).
+	Events []Event
+}
+
+// Config parametrizes workload generation.
+type Config struct {
+	// Nodes is the host population sessions draw members from.
+	Nodes int
+	// ArrivalRate is the Poisson arrival intensity (sessions per time unit).
+	ArrivalRate float64
+	// MeanLifetime is the exponential mean session duration.
+	MeanLifetime float64
+	// Horizon is the trace length; arrivals stop at Horizon (departures may
+	// be clipped to it).
+	Horizon float64
+	// SizeMin/SizeMax bound the (uniform) session size, source included.
+	SizeMin, SizeMax int
+	// Demand per session.
+	Demand float64
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("churn: need >=2 nodes, got %d", c.Nodes)
+	}
+	if c.ArrivalRate <= 0 || c.MeanLifetime <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("churn: rates and horizon must be positive")
+	}
+	if c.SizeMin < 2 {
+		return fmt.Errorf("churn: SizeMin must be >=2, got %d", c.SizeMin)
+	}
+	if c.SizeMax < c.SizeMin {
+		return fmt.Errorf("churn: SizeMax %d < SizeMin %d", c.SizeMax, c.SizeMin)
+	}
+	if c.SizeMax > c.Nodes {
+		return fmt.Errorf("churn: SizeMax %d exceeds %d nodes", c.SizeMax, c.Nodes)
+	}
+	if c.Demand <= 0 {
+		return fmt.Errorf("churn: Demand must be positive")
+	}
+	return nil
+}
+
+// Generate materializes a workload deterministically from r.
+func Generate(cfg Config, r *rng.RNG) (*Workload, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := &Workload{}
+	t := 0.0
+	for {
+		t += r.ExpFloat64() / cfg.ArrivalRate
+		if t >= cfg.Horizon {
+			break
+		}
+		size := cfg.SizeMin + r.Intn(cfg.SizeMax-cfg.SizeMin+1)
+		depart := t + r.ExpFloat64()*cfg.MeanLifetime
+		if depart > cfg.Horizon {
+			depart = cfg.Horizon
+		}
+		idx := len(w.Sessions)
+		w.Sessions = append(w.Sessions, SessionSpec{
+			Members: r.Sample(cfg.Nodes, size),
+			Demand:  cfg.Demand,
+			Arrive:  t,
+			Depart:  depart,
+		})
+		w.Events = append(w.Events,
+			Event{Time: t, Kind: Join, Session: idx},
+			Event{Time: depart, Kind: Leave, Session: idx},
+		)
+	}
+	sort.SliceStable(w.Events, func(a, b int) bool {
+		ea, eb := w.Events[a], w.Events[b]
+		if ea.Time != eb.Time {
+			return ea.Time < eb.Time
+		}
+		// Joins sort before leaves at equal timestamps so an instantaneous
+		// session still materializes.
+		return ea.Kind < eb.Kind
+	})
+	return w, nil
+}
+
+// PeakConcurrency returns the maximum number of simultaneously active
+// sessions over the trace.
+func (w *Workload) PeakConcurrency() int {
+	active, peak := 0, 0
+	for _, e := range w.Events {
+		if e.Kind == Join {
+			active++
+			if active > peak {
+				peak = active
+			}
+		} else {
+			active--
+		}
+	}
+	return peak
+}
+
+// Validate checks event/lifetime consistency (used by tests and as a guard
+// for hand-written traces).
+func (w *Workload) Validate() error {
+	joins := make([]bool, len(w.Sessions))
+	leaves := make([]bool, len(w.Sessions))
+	prev := -1.0
+	for _, e := range w.Events {
+		if e.Time < prev {
+			return fmt.Errorf("churn: events out of order at t=%v", e.Time)
+		}
+		prev = e.Time
+		if e.Session < 0 || e.Session >= len(w.Sessions) {
+			return fmt.Errorf("churn: event references session %d", e.Session)
+		}
+		switch e.Kind {
+		case Join:
+			if joins[e.Session] {
+				return fmt.Errorf("churn: session %d joins twice", e.Session)
+			}
+			joins[e.Session] = true
+		case Leave:
+			if !joins[e.Session] {
+				return fmt.Errorf("churn: session %d leaves before joining", e.Session)
+			}
+			if leaves[e.Session] {
+				return fmt.Errorf("churn: session %d leaves twice", e.Session)
+			}
+			leaves[e.Session] = true
+		}
+	}
+	for i := range w.Sessions {
+		if !joins[i] || !leaves[i] {
+			return fmt.Errorf("churn: session %d has incomplete lifecycle", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package churn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/rng"
+)
+
+func defaultCfg() Config {
+	return Config{
+		Nodes:        50,
+		ArrivalRate:  2,
+		MeanLifetime: 3,
+		Horizon:      20,
+		SizeMin:      2,
+		SizeMax:      6,
+		Demand:       1,
+	}
+}
+
+func TestGenerateValidWorkload(t *testing.T) {
+	w, err := Generate(defaultCfg(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Sessions) == 0 {
+		t.Fatal("no sessions generated")
+	}
+	for i, s := range w.Sessions {
+		if len(s.Members) < 2 || len(s.Members) > 6 {
+			t.Fatalf("session %d size %d out of bounds", i, len(s.Members))
+		}
+		if s.Depart < s.Arrive {
+			t.Fatalf("session %d departs before arriving", i)
+		}
+		if s.Depart > 20 || s.Arrive >= 20 {
+			t.Fatalf("session %d outside horizon: %v-%v", i, s.Arrive, s.Depart)
+		}
+	}
+	if w.PeakConcurrency() < 1 {
+		t.Fatal("no concurrency")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(defaultCfg(), rng.New(9))
+	b, _ := Generate(defaultCfg(), rng.New(9))
+	if len(a.Sessions) != len(b.Sessions) || len(a.Events) != len(b.Events) {
+		t.Fatal("same seed produced different workloads")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestArrivalRateCalibration(t *testing.T) {
+	// Expected arrivals = rate x horizon; check within 4 sigma over a long
+	// trace.
+	cfg := defaultCfg()
+	cfg.Horizon = 500
+	w, err := Generate(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.ArrivalRate * cfg.Horizon
+	got := float64(len(w.Sessions))
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Fatalf("arrivals %v far from expected %v", got, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 1 },
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.MeanLifetime = -1 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.SizeMin = 1 },
+		func(c *Config) { c.SizeMax = 1 },
+		func(c *Config) { c.SizeMax = 100 },
+		func(c *Config) { c.Demand = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := defaultCfg()
+		mutate(&cfg)
+		if _, err := Generate(cfg, rng.New(1)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestWorkloadValidateCatchesCorruption(t *testing.T) {
+	w, _ := Generate(defaultCfg(), rng.New(3))
+	// Remove a leave event.
+	var truncated []Event
+	removed := false
+	for _, e := range w.Events {
+		if !removed && e.Kind == Leave {
+			removed = true
+			continue
+		}
+		truncated = append(truncated, e)
+	}
+	bad := &Workload{Sessions: w.Sessions, Events: truncated}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing leave not detected")
+	}
+	// Out-of-order events.
+	if len(w.Events) >= 2 {
+		swapped := append([]Event(nil), w.Events...)
+		swapped[0], swapped[len(swapped)-1] = swapped[len(swapped)-1], swapped[0]
+		bad2 := &Workload{Sessions: w.Sessions, Events: swapped}
+		if err := bad2.Validate(); err == nil {
+			t.Fatal("out-of-order events not detected")
+		}
+	}
+}
+
+func TestWorkloadProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		w, err := Generate(defaultCfg(), rng.New(seed))
+		if err != nil {
+			return false
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		// Event count is exactly 2 per session.
+		return len(w.Events) == 2*len(w.Sessions)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

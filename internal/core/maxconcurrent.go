@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+)
+
+// MaxConcurrentFlowOptions configures the Table III FPTAS.
+type MaxConcurrentFlowOptions struct {
+	// Epsilon is the error parameter; the returned concurrent ratio is
+	// within (1-eps)^3 of the M2 optimum (the paper reports 1-3eps). Must
+	// be in (0, 0.5].
+	Epsilon float64
+	// Parallel fans oracle computations across CPUs where possible.
+	Parallel bool
+	// SurplusPass, when set, routes additional MaxFlow-style traffic on the
+	// residual capacities after the fair share is secured. The paper's
+	// Table IV rates exceed lambda·dem(i) for the larger session, which is
+	// exactly the behaviour of such a pass: max-min fairness first, then
+	// capacity back-filling ("further lowering the rate of session 1 does
+	// not help increasing the rate of session 2").
+	SurplusPass bool
+	// SurplusEpsilon is the epsilon for the surplus pass (default: Epsilon).
+	SurplusEpsilon float64
+	// MaxPhases overrides the phase safety bound (0 = automatic).
+	MaxPhases int
+}
+
+// MCFRatioToEpsilon converts a target approximation ratio (e.g. 0.95) to the
+// MaxConcurrentFlow epsilon with ratio = (1-eps)^3.
+func MCFRatioToEpsilon(ratio float64) float64 {
+	return 1 - math.Cbrt(ratio)
+}
+
+// MCFResult carries the MaxConcurrentFlow solution plus its diagnostics.
+type MCFResult struct {
+	*Solution
+	// Lambda is min_i rate_i/dem(i) of the (pre-surplus) fair solution.
+	Lambda float64
+	// PrestepMSTOps counts the spanning-tree operations spent computing the
+	// per-session maximum flows beta_i used for demand scaling — the second
+	// running-time component reported in Table IV.
+	PrestepMSTOps int
+	// Betas are the single-session maximum flow values.
+	Betas []float64
+}
+
+// MaxConcurrentFlow runs the Table III FPTAS: phase-structured routing of
+// each session's demand along successive minimum overlay spanning trees,
+// with multiplicative length updates, demand pre-scaling via single-session
+// maximum flows, and demand doubling when the optimum is still large
+// (Sec. III-C). The returned solution is exactly feasible.
+func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, error) {
+	eps := opts.Epsilon
+	if eps <= 0 || eps > 0.5 {
+		return nil, fmt.Errorf("core: MaxConcurrentFlow epsilon %v outside (0, 0.5]", eps)
+	}
+	k := p.K()
+
+	// Pre-step: beta_i = single-session maximum flow, for demand scaling.
+	betas := make([]float64, k)
+	prestepOps := 0
+	for i := 0; i < k; i++ {
+		sub := singleSessionProblem(p, i)
+		mf, err := MaxFlow(sub, MaxFlowOptions{Epsilon: eps, Parallel: opts.Parallel})
+		if err != nil {
+			return nil, fmt.Errorf("core: beta prestep session %d: %w", i, err)
+		}
+		betas[i] = mf.SessionRate(0)
+		prestepOps += mf.MSTOps
+		if betas[i] <= 0 {
+			return nil, fmt.Errorf("core: session %d has zero max flow", i)
+		}
+	}
+	// zeta = min_i beta_i/dem(i) upper-bounds lambda*; scaling demands by
+	// zeta/k puts the scaled optimum in [1, k].
+	zeta := math.Inf(1)
+	for i, s := range p.Sessions {
+		if v := betas[i] / s.Demand; v < zeta {
+			zeta = v
+		}
+	}
+	dem := make([]float64, k)
+	for i, s := range p.Sessions {
+		dem[i] = s.Demand * zeta / float64(k)
+	}
+
+	m := float64(p.G.NumEdges())
+	// delta = (m/(1-eps))^(-1/eps), floored against float64 underflow at
+	// extreme accuracy targets (see deltaFloor).
+	delta := math.Pow(m/(1-eps), -1/eps)
+	if delta < deltaFloor {
+		delta = deltaFloor
+	}
+	d := graph.NewLengths(p.G, 0)
+	bigD := 0.0 // D = sum_e c_e d_e, the dual objective / stop criterion
+	for e := range d {
+		d[e] = delta / p.G.Edges[e].Capacity
+		bigD += delta
+	}
+
+	acc := newFlowAccumulator(p)
+	// Phase budget per doubling round (Lemma 6): t <= 1 + lambda·log_{1+eps}(1/delta)
+	// with log_{1+eps}(1/delta) = (1/eps)·log_{1+eps}(m/(1-eps)); the
+	// algorithm must stop within T = 2·log_{1+eps}(1/delta) phases while
+	// lambda_scaled <= 2 (allowing slack for the approximate betas).
+	budget := int(2.5*math.Log(m/(1-eps))/math.Log(1+eps)/eps) + 2
+	maxPhases := opts.MaxPhases
+	if maxPhases == 0 {
+		// At most ~log2(k)+1 doubling rounds of `budget` phases each.
+		maxPhases = budget * (bits(k) + 2)
+	}
+
+	phases := 0
+	sinceDoubling := 0
+	doublings := 0
+	for bigD < 1 {
+		if phases >= maxPhases {
+			return nil, fmt.Errorf("core: MaxConcurrentFlow exceeded %d phases", maxPhases)
+		}
+		if sinceDoubling >= budget {
+			// lambda_scaled > 2: double demands to halve it (Sec. III-C).
+			for i := range dem {
+				dem[i] *= 2
+			}
+			doublings++
+			sinceDoubling = 0
+			if doublings > bits(k)+8 {
+				return nil, fmt.Errorf("core: demand doubling diverged after %d rounds", doublings)
+			}
+		}
+		for i := 0; i < k && bigD < 1; i++ {
+			rem := dem[i]
+			for bigD < 1 && rem > 1e-15 {
+				t, err := p.Oracles[i].MinTree(d)
+				if err != nil {
+					return nil, fmt.Errorf("core: MCF oracle %d: %w", i, err)
+				}
+				acc.sol.MSTOps++
+				c := rem
+				for _, use := range t.Use() {
+					if v := p.G.Edges[use.Edge].Capacity / float64(use.Count); v < c {
+						c = v
+					}
+				}
+				acc.add(i, t, c)
+				rem -= c
+				for _, use := range t.Use() {
+					ce := p.G.Edges[use.Edge].Capacity
+					grow := 1 + eps*float64(use.Count)*c/ce
+					bigD += ce * d[use.Edge] * (grow - 1)
+					d[use.Edge] *= grow
+				}
+			}
+		}
+		phases++
+		sinceDoubling++
+	}
+
+	sol := acc.sol
+	sol.Phases = phases
+	// Exact feasibility scaling, uniform across sessions (preserves the
+	// fairness ratios); upper-bounded by the Lemma 4 factor
+	// log_{1+eps}(1/delta).
+	if cong := sol.MaxCongestion(); cong > 0 {
+		sol.Scale(1 / cong)
+	}
+	res := &MCFResult{Solution: sol, PrestepMSTOps: prestepOps, Betas: betas}
+	res.Lambda = sol.ConcurrentRatio()
+
+	if opts.SurplusPass {
+		seps := opts.SurplusEpsilon
+		if seps == 0 {
+			seps = eps
+		}
+		if err := addSurplus(p, sol, seps, opts.Parallel); err != nil {
+			return nil, err
+		}
+		sol.ScaleToFeasible()
+	}
+	return res, nil
+}
+
+// singleSessionProblem projects p onto session i, reusing its oracle.
+func singleSessionProblem(p *Problem, i int) *Problem {
+	return &Problem{
+		G:            p.G,
+		Sessions:     []*overlay.Session{p.Sessions[i]},
+		Oracles:      []overlay.TreeOracle{p.Oracles[i]},
+		Mode:         p.Mode,
+		MaxReceivers: p.Sessions[i].Receivers(),
+		U:            maxInt(p.Oracles[i].MaxRouteHops(), 1),
+	}
+}
+
+// addSurplus runs a MaxFlow pass on the residual capacities left by sol and
+// merges the extra flow into sol. Edge identities are preserved because the
+// residual graph has the same (sorted) edge set.
+func addSurplus(p *Problem, sol *Solution, eps float64, parallel bool) error {
+	load := sol.LinkFlows()
+	b := graph.NewBuilder(p.G.NumNodes())
+	const floorCap = 1e-9 // builder requires positive capacities
+	for e, edge := range p.G.Edges {
+		residual := edge.Capacity - load[e]
+		if residual < floorCap {
+			residual = floorCap
+		}
+		if err := b.AddEdge(edge.U, edge.V, residual); err != nil {
+			return fmt.Errorf("core: surplus residual graph: %w", err)
+		}
+	}
+	rg := b.Build()
+	rp, err := NewProblemWeighted(rg, p.Sessions, p.Mode, p.RouteWeights)
+	if err != nil {
+		return fmt.Errorf("core: surplus problem: %w", err)
+	}
+	extra, err := MaxFlow(rp, MaxFlowOptions{Epsilon: eps, Parallel: parallel})
+	if err != nil {
+		return fmt.Errorf("core: surplus pass: %w", err)
+	}
+	sol.MSTOps += extra.MSTOps
+	// Trees from the residual problem reference identical edge ids; merge.
+	acc := &flowAccumulator{sol: sol, index: make([]map[string]int, len(sol.Flows))}
+	for i := range acc.index {
+		acc.index[i] = make(map[string]int, len(sol.Flows[i]))
+		for pos, tf := range sol.Flows[i] {
+			acc.index[i][tf.Tree.Key()] = pos
+		}
+	}
+	for i, flows := range extra.Flows {
+		for _, tf := range flows {
+			if tf.Rate > 0 {
+				acc.add(i, tf.Tree, tf.Rate)
+			}
+		}
+	}
+	return nil
+}
+
+func bits(k int) int {
+	b := 0
+	for v := k; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

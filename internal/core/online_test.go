@@ -1,0 +1,218 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/core"
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+	"overcast/internal/routing"
+	"overcast/internal/topology"
+)
+
+func TestOnlineValidation(t *testing.T) {
+	net, _ := topology.Ring(5, 10)
+	if _, err := core.NewOnline(net.Graph, 0); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	o, err := core.NewOnline(net.Graph, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Finalize(); err == nil {
+		t.Error("finalize with no sessions accepted")
+	}
+}
+
+func TestOnlineSingleSessionSaturates(t *testing.T) {
+	// One 2-member session on a path: its tree is the path; finalized rate
+	// must equal the path capacity.
+	net, _ := topology.Path(4, 10)
+	g := net.Graph
+	s, _ := overlay.NewSession(0, []graph.NodeID{0, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	oracle, err := overlay.NewFixedOracle(g, rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := core.NewOnline(g, 10)
+	if _, err := o.Join(oracle); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := o.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sol.SessionRate(0); r < 10-1e-9 || r > 10+1e-9 {
+		t.Fatalf("finalized rate %v, want 10", r)
+	}
+	if err := sol.CheckFeasible(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineSpreadsLoadAcrossRing(t *testing.T) {
+	// Ring of 4: two identical sessions {0,2}. Under arbitrary routing the
+	// second arrival must take the other side of the ring because the first
+	// inflated its side. (Fixed IP routing could not detour a 2-member
+	// session — its route is pinned.)
+	net, _ := topology.Ring(4, 10)
+	g := net.Graph
+	rt := routing.NewIPRoutes(g, []graph.NodeID{0, 1, 2, 3})
+	o, _ := core.NewOnline(g, 10)
+	var trees []*overlay.Tree
+	for i := 0; i < 2; i++ {
+		s, _ := overlay.NewSession(i, []graph.NodeID{0, 2}, 1)
+		oracle, err := overlay.NewArbitraryOracle(g, rt, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := o.Join(oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	if trees[0].Key() == trees[1].Key() {
+		// Keys embed session IDs, so compare physical edges instead.
+		t.Log("keys differ by construction; checking edges")
+	}
+	firstEdges := map[graph.EdgeID]bool{}
+	for _, u := range trees[0].Use() {
+		firstEdges[u.Edge] = true
+	}
+	overlap := 0
+	for _, u := range trees[1].Use() {
+		if firstEdges[u.Edge] {
+			overlap++
+		}
+	}
+	if overlap != 0 {
+		t.Fatalf("second session overlapped %d edges instead of detouring", overlap)
+	}
+	sol, err := o.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sessions get the full 10/2-hop side: rate 10 each.
+	for i := 0; i < 2; i++ {
+		if r := sol.SessionRate(i); r < 10-1e-9 {
+			t.Fatalf("session %d rate %v, want 10", i, r)
+		}
+	}
+	if err := sol.CheckFeasible(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineFeasibilityProperty(t *testing.T) {
+	// The per-session l^i_max scaling must be feasible for any arrival
+	// sequence, topology seed, and mu.
+	check := func(seed uint64, muRaw uint8, nRaw uint8) bool {
+		r := rng.New(seed)
+		net, err := topology.Waxman(topology.DefaultWaxman(30), r)
+		if err != nil {
+			return false
+		}
+		g := net.Graph
+		mu := float64(muRaw%200) + 1
+		arrivals := int(nRaw%6) + 2
+		all := make([]graph.NodeID, g.NumNodes())
+		for i := range all {
+			all[i] = i
+		}
+		rt := routing.NewIPRoutes(g, all)
+		o, err := core.NewOnline(g, mu)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < arrivals; i++ {
+			size := 2 + r.Intn(4)
+			members := r.Sample(g.NumNodes(), size)
+			s, err := overlay.NewSession(i, members, 1+float64(r.Intn(3)))
+			if err != nil {
+				return false
+			}
+			oracle, err := overlay.NewFixedOracle(g, rt, s)
+			if err != nil {
+				return false
+			}
+			if _, err := o.Join(oracle); err != nil {
+				return false
+			}
+		}
+		if o.NumSessions() != arrivals || o.MSTOps() != arrivals {
+			return false
+		}
+		sol, err := o.Finalize()
+		if err != nil {
+			return false
+		}
+		return sol.CheckFeasible(1e-9) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineApproachesOfflineOptimum(t *testing.T) {
+	// Replicating each session n times and summing the finalized replica
+	// rates must approach the MaxFlow bound as n grows (Fig. 5 behaviour).
+	r := rng.New(71)
+	net, err := topology.Waxman(topology.DefaultWaxman(40), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	perm := r.Perm(40)
+	base := [][]graph.NodeID{perm[0:5], perm[5:9]}
+	p := buildProblem(t, g, base, nil, core.RoutingIP)
+	opt, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members []graph.NodeID
+	for _, m := range base {
+		members = append(members, m...)
+	}
+	rt := routing.NewIPRoutes(g, members)
+
+	run := func(n int) float64 {
+		o, _ := core.NewOnline(g, 30)
+		id := 0
+		for rep := 0; rep < n; rep++ {
+			for _, m := range base {
+				s, _ := overlay.NewSession(id, m, 1)
+				oracle, err := overlay.NewFixedOracle(g, rt, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := o.Join(oracle); err != nil {
+					t.Fatal(err)
+				}
+				id++
+			}
+		}
+		sol, err := o.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sol.CheckFeasible(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		return sol.OverallThroughput()
+	}
+	t1 := run(1)
+	t20 := run(20)
+	if t20 < t1 {
+		t.Fatalf("throughput decreased with more trees: %v -> %v", t1, t20)
+	}
+	if t20 < 0.5*opt.OverallThroughput() {
+		t.Fatalf("online with 20 trees reached only %v of optimal %v", t20, opt.OverallThroughput())
+	}
+	if t20 > opt.OverallThroughput()*1.01 {
+		t.Fatalf("online throughput %v exceeds offline optimum %v", t20, opt.OverallThroughput())
+	}
+}

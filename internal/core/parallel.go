@@ -1,0 +1,95 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+)
+
+// mostResult is one session's minimum overlay spanning tree with its raw
+// (unnormalized) dual length.
+type mostResult struct {
+	tree *overlay.Tree
+	len  float64
+	err  error
+}
+
+// computeMOSTs evaluates every oracle's MinTree under d, in parallel when
+// parallel is set and there is more than one session. The reduction is
+// deterministic: results land in a slice indexed by session, so scheduling
+// order never affects output.
+func computeMOSTs(oracles []overlay.TreeOracle, d graph.Lengths, parallel bool) []mostResult {
+	k := len(oracles)
+	out := make([]mostResult, k)
+	if !parallel || k == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i, o := range oracles {
+			t, err := o.MinTree(d)
+			if err != nil {
+				out[i] = mostResult{err: err}
+				continue
+			}
+			out[i] = mostResult{tree: t, len: t.LengthUnder(d)}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t, err := oracles[i].MinTree(d)
+				if err != nil {
+					out[i] = mostResult{err: err}
+					continue
+				}
+				out[i] = mostResult{tree: t, len: t.LengthUnder(d)}
+			}
+		}()
+	}
+	for i := 0; i < k; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS workers and blocks
+// until all complete. fn must be safe to run concurrently for distinct i.
+// Used by the experiment harness for trial fan-outs.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+)
+
+// RoundingResult is the outcome of Random-MinCongestion (Table V): one tree
+// per session, with congestion diagnostics.
+type RoundingResult struct {
+	// Chosen[i] is the single tree selected for session i.
+	Chosen []*overlay.Tree
+	// SessionMaxCongestion[i] is l^i_max, the maximum congestion over the
+	// edges of session i's tree when every session routes its full demand.
+	SessionMaxCongestion []float64
+	// MaxCongestion is l_max = max_i l^i_max.
+	MaxCongestion float64
+	// Feasible is the exactly feasible solution obtained by scaling each
+	// session's demand by its l^i_max (the paper's feasibility recipe).
+	Feasible *Solution
+}
+
+// RandomMinCongestion implements Table V: given a fractional solution base
+// (from MaxConcurrentFlow), pick one tree per session with probability
+// proportional to its fractional rate, route the full demand along it, and
+// report the congestion. Theorem 3 bounds MaxCongestion by
+// O(OPT + sqrt(OPT·ln(|E|/p))) with probability 1-p.
+func RandomMinCongestion(p *Problem, base *Solution, r *rng.RNG) (*RoundingResult, error) {
+	if len(base.Flows) != p.K() {
+		return nil, fmt.Errorf("core: base solution has %d sessions, problem has %d", len(base.Flows), p.K())
+	}
+	res := &RoundingResult{
+		Chosen:               make([]*overlay.Tree, p.K()),
+		SessionMaxCongestion: make([]float64, p.K()),
+	}
+	load := make([]float64, p.G.NumEdges())
+	for i, flows := range base.Flows {
+		if len(flows) == 0 {
+			return nil, fmt.Errorf("core: session %d has no trees in base solution", i)
+		}
+		weights := make([]float64, len(flows))
+		for j, tf := range flows {
+			weights[j] = tf.Rate
+		}
+		t := flows[r.WeightedChoice(weights)].Tree
+		res.Chosen[i] = t
+		for _, use := range t.Use() {
+			load[use.Edge] += float64(use.Count) * p.Sessions[i].Demand / p.G.Edges[use.Edge].Capacity
+		}
+	}
+	for i, t := range res.Chosen {
+		for _, use := range t.Use() {
+			if l := load[use.Edge]; l > res.SessionMaxCongestion[i] {
+				res.SessionMaxCongestion[i] = l
+			}
+		}
+		if res.SessionMaxCongestion[i] > res.MaxCongestion {
+			res.MaxCongestion = res.SessionMaxCongestion[i]
+		}
+	}
+	// Feasible solution: session i carries dem(i)/l^i_max along its tree.
+	// Scaled congestion on any edge e is sum_i contrib_i(e)/l^i_max
+	// <= sum_i contrib_i(e)/l_e = 1.
+	sol := newSolution(p)
+	for i, t := range res.Chosen {
+		rate := p.Sessions[i].Demand
+		if res.SessionMaxCongestion[i] > 0 {
+			rate /= res.SessionMaxCongestion[i]
+		}
+		sol.Flows[i] = append(sol.Flows[i], TreeFlow{Tree: t, Rate: rate})
+	}
+	res.Feasible = sol
+	return res, nil
+}
+
+// SelectTrees implements the Sec. IV-D "random algorithm": draw n trees per
+// session from the fractional solution base with probability proportional
+// to rate (with replacement), keep the distinct draws with their original
+// fractional rates. A subset of a feasible flow remains feasible, so no
+// rescaling is needed. Returns the truncated solution.
+func SelectTrees(p *Problem, base *Solution, n int, r *rng.RNG) (*Solution, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: SelectTrees needs n>=1, got %d", n)
+	}
+	if len(base.Flows) != p.K() {
+		return nil, fmt.Errorf("core: base solution has %d sessions, problem has %d", len(base.Flows), p.K())
+	}
+	sol := newSolution(p)
+	for i, flows := range base.Flows {
+		if len(flows) == 0 {
+			continue
+		}
+		weights := make([]float64, len(flows))
+		for j, tf := range flows {
+			weights[j] = tf.Rate
+		}
+		picked := make(map[int]bool, n)
+		for draw := 0; draw < n; draw++ {
+			picked[r.WeightedChoice(weights)] = true
+		}
+		// Preserve base order for determinism.
+		for j, tf := range flows {
+			if picked[j] {
+				sol.Flows[i] = append(sol.Flows[i], tf)
+			}
+		}
+	}
+	return sol, nil
+}

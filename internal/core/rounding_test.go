@@ -1,0 +1,179 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/core"
+	"overcast/internal/graph"
+	"overcast/internal/rng"
+	"overcast/internal/topology"
+)
+
+func mcfBase(t testing.TB, seed uint64, sizes []int) (*core.Problem, *core.Solution) {
+	t.Helper()
+	r := rng.New(seed)
+	net, err := topology.Waxman(topology.DefaultWaxman(40), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := r.Perm(40)
+	var sets [][]graph.NodeID
+	off := 0
+	for _, sz := range sizes {
+		sets = append(sets, perm[off:off+sz])
+		off += sz
+	}
+	p := buildProblem(t, net.Graph, sets, nil, core.RoutingIP)
+	res, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{Epsilon: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res.Solution
+}
+
+func TestRandomMinCongestionProducesFeasibleScaledSolution(t *testing.T) {
+	p, base := mcfBase(t, 51, []int{5, 4})
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		res, err := core.RandomMinCongestion(p, base, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Chosen) != p.K() {
+			t.Fatal("wrong number of chosen trees")
+		}
+		if res.MaxCongestion <= 0 {
+			t.Fatal("no congestion recorded")
+		}
+		for i, l := range res.SessionMaxCongestion {
+			if l <= 0 || l > res.MaxCongestion+1e-12 {
+				t.Fatalf("session %d congestion %v vs max %v", i, l, res.MaxCongestion)
+			}
+		}
+		if err := res.Feasible.CheckFeasible(1e-9); err != nil {
+			t.Fatalf("trial %d scaled solution infeasible: %v", trial, err)
+		}
+		// Each chosen tree must come from the base solution.
+		for i, tr := range res.Chosen {
+			found := false
+			for _, tf := range base.Flows[i] {
+				if tf.Tree.Key() == tr.Key() {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("chosen tree for session %d not in base", i)
+			}
+		}
+	}
+}
+
+func TestRandomMinCongestionPrefersHighRateTrees(t *testing.T) {
+	p, base := mcfBase(t, 53, []int{5, 4})
+	// Count how often the top-rate tree of session 0 is picked; with the
+	// asymmetric rate distribution it should dominate a uniform pick.
+	flows := base.Flows[0]
+	bestIdx, bestRate, total := 0, 0.0, 0.0
+	for j, tf := range flows {
+		total += tf.Rate
+		if tf.Rate > bestRate {
+			bestRate = tf.Rate
+			bestIdx = j
+		}
+	}
+	r := rng.New(7)
+	hits := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		res, err := core.RandomMinCongestion(p, base, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Chosen[0].Key() == flows[bestIdx].Tree.Key() {
+			hits++
+		}
+	}
+	wantFrac := bestRate / total
+	got := float64(hits) / trials
+	if got < wantFrac*0.6 || got > wantFrac*1.4+0.05 {
+		t.Fatalf("top tree picked %.3f of the time, expected about %.3f", got, wantFrac)
+	}
+}
+
+func TestRandomMinCongestionErrors(t *testing.T) {
+	p, base := mcfBase(t, 55, []int{4, 3})
+	short := &core.Solution{G: base.G, Sessions: base.Sessions[:1], Flows: base.Flows[:1]}
+	if _, err := core.RandomMinCongestion(p, short, rng.New(1)); err == nil {
+		t.Error("mismatched base accepted")
+	}
+}
+
+func TestSelectTreesSubsetIsFeasibleAndMonotone(t *testing.T) {
+	p, base := mcfBase(t, 57, []int{6, 4})
+	r := rng.New(3)
+	prev := 0.0
+	for _, n := range []int{1, 2, 5, 10, 50} {
+		sol, err := core.SelectTrees(p, base, n, r.Split(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sol.CheckFeasible(1e-9); err != nil {
+			t.Fatalf("n=%d infeasible: %v", n, err)
+		}
+		for i := range p.Sessions {
+			if sol.TreeCount(i) > n {
+				t.Fatalf("n=%d session %d has %d trees", n, i, sol.TreeCount(i))
+			}
+			if sol.SessionRate(i) > base.SessionRate(i)+1e-9 {
+				t.Fatalf("subset rate exceeds base rate")
+			}
+		}
+		// Average throughput should not collapse as n grows (monotone in
+		// expectation; we use one sample per n but allow slack via >= 0.5x).
+		tp := sol.OverallThroughput()
+		if tp < prev*0.5 {
+			t.Fatalf("throughput dropped sharply at n=%d: %v -> %v", n, prev, tp)
+		}
+		if tp > prev {
+			prev = tp
+		}
+	}
+	// With many draws we should recover most of the base throughput.
+	sol, err := core.SelectTrees(p, base, 200, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.OverallThroughput() < 0.9*base.OverallThroughput() {
+		t.Fatalf("200 draws recovered only %v of %v", sol.OverallThroughput(), base.OverallThroughput())
+	}
+}
+
+func TestSelectTreesErrors(t *testing.T) {
+	p, base := mcfBase(t, 59, []int{4, 3})
+	if _, err := core.SelectTrees(p, base, 0, rng.New(1)); err == nil {
+		t.Error("n=0 accepted")
+	}
+	short := &core.Solution{G: base.G, Sessions: base.Sessions[:1], Flows: base.Flows[:1]}
+	if _, err := core.SelectTrees(p, short, 3, rng.New(1)); err == nil {
+		t.Error("mismatched base accepted")
+	}
+}
+
+// TestRoundingFeasibilityProperty: the per-session congestion scaling of
+// Random-MinCongestion yields a feasible solution for any base solution and
+// seed — the invariant behind the paper's feasibility recipe.
+func TestRoundingFeasibilityProperty(t *testing.T) {
+	p, base := mcfBase(t, 61, []int{5, 3})
+	check := func(seed uint64) bool {
+		res, err := core.RandomMinCongestion(p, base, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return res.Feasible.CheckFeasible(1e-9) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

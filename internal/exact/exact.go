@@ -1,0 +1,170 @@
+// Package exact solves the paper's M1 and M2 programs to optimality on
+// small instances by explicit tree enumeration (Prüfer sequences) plus the
+// dense simplex. The paper notes M1'/M2' are solvable by the ellipsoid
+// method; exact optimality — not the polynomial bound — is what the library
+// needs from this component, since its sole purpose is to provide ground
+// truth against which the FPTAS implementations (internal/core) are
+// validated. Session sizes are limited by |S|^(|S|-2) tree enumeration;
+// sizes up to 6 (1296 trees) stay comfortably fast.
+package exact
+
+import (
+	"fmt"
+
+	"overcast/internal/graph"
+	"overcast/internal/lp"
+	"overcast/internal/overlay"
+)
+
+// Result is an exact optimum of M1 or M2.
+type Result struct {
+	// Value is the optimal objective: the weighted aggregate flow for M1,
+	// the concurrent ratio lambda for M2.
+	Value float64
+	// SessionRates[i] is the total rate routed for session i at optimum.
+	SessionRates []float64
+	// Trees[i] lists the session's enumerated trees; Rates[i][j] is the
+	// optimal rate on Trees[i][j] (may be zero).
+	Trees [][]*overlay.Tree
+	Rates [][]float64
+}
+
+// enumerate materializes all trees of every session and the per-edge usage
+// columns. Only physical edges actually used by some tree get a MaxN
+// capacity row.
+type enumeration struct {
+	trees    [][]*overlay.Tree
+	varOf    [][]int // varOf[i][j] = LP variable index of tree j of session i
+	numVars  int
+	edgeRows map[graph.EdgeID]int
+	useCols  [][]struct {
+		row   int
+		count float64
+	}
+}
+
+func enumerateAll(oracles []*overlay.FixedOracle, maxN int) (*enumeration, error) {
+	en := &enumeration{edgeRows: make(map[graph.EdgeID]int)}
+	for _, o := range oracles {
+		trees, err := overlay.AllTrees(o, maxN)
+		if err != nil {
+			return nil, fmt.Errorf("exact: session %d: %w", o.Session().ID, err)
+		}
+		en.trees = append(en.trees, trees)
+		vars := make([]int, len(trees))
+		for j, t := range trees {
+			vars[j] = en.numVars
+			en.numVars++
+			var col []struct {
+				row   int
+				count float64
+			}
+			for _, u := range t.Use() {
+				row, ok := en.edgeRows[u.Edge]
+				if !ok {
+					row = len(en.edgeRows)
+					en.edgeRows[u.Edge] = row
+				}
+				col = append(col, struct {
+					row   int
+					count float64
+				}{row, float64(u.Count)})
+			}
+			en.useCols = append(en.useCols, col)
+		}
+		en.varOf = append(en.varOf, vars)
+	}
+	return en, nil
+}
+
+// MaxMulticommodityFlow solves M1 exactly: maximize
+// sum_i (|S_i|-1)/(|Smax|-1) * rate_i subject to capacities.
+func MaxMulticommodityFlow(g *graph.Graph, oracles []*overlay.FixedOracle, maxN int) (*Result, error) {
+	en, err := enumerateAll(oracles, maxN)
+	if err != nil {
+		return nil, err
+	}
+	smax := 0
+	for _, o := range oracles {
+		if r := o.Session().Receivers(); r > smax {
+			smax = r
+		}
+	}
+	p := lp.Problem{C: make([]float64, en.numVars)}
+	for i, o := range oracles {
+		w := float64(o.Session().Receivers()) / float64(smax)
+		for _, v := range en.varOf[i] {
+			p.C[v] = w
+		}
+	}
+	p.A, p.B = capacityRows(g, en, 0)
+	res, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("exact: M1 LP: %w", err)
+	}
+	return extract(res, en, oracles, res.Value), nil
+}
+
+// MaxConcurrentFlow solves M2 exactly: maximize lambda subject to
+// rate_i >= lambda*dem(i) and capacities. The lambda variable is the last
+// LP column.
+func MaxConcurrentFlow(g *graph.Graph, oracles []*overlay.FixedOracle, maxN int) (*Result, error) {
+	en, err := enumerateAll(oracles, maxN)
+	if err != nil {
+		return nil, err
+	}
+	nv := en.numVars + 1 // + lambda
+	lambdaVar := en.numVars
+	p := lp.Problem{C: make([]float64, nv)}
+	p.C[lambdaVar] = 1
+	capA, capB := capacityRows(g, en, 1)
+	p.A, p.B = capA, capB
+	// Demand rows: dem(i)*lambda - sum_j f_ij <= 0.
+	for i, o := range oracles {
+		row := make([]float64, nv)
+		row[lambdaVar] = o.Session().Demand
+		for _, v := range en.varOf[i] {
+			row[v] = -1
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, 0)
+	}
+	res, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("exact: M2 LP: %w", err)
+	}
+	return extract(res, en, oracles, res.X[lambdaVar]), nil
+}
+
+// capacityRows builds one row per used physical edge; extra reserves extra
+// trailing columns (for lambda).
+func capacityRows(g *graph.Graph, en *enumeration, extra int) ([][]float64, []float64) {
+	rows := make([][]float64, len(en.edgeRows))
+	b := make([]float64, len(en.edgeRows))
+	width := en.numVars + extra
+	for e, r := range en.edgeRows {
+		rows[r] = make([]float64, width)
+		b[r] = g.Edges[e].Capacity
+	}
+	for v, col := range en.useCols {
+		for _, c := range col {
+			rows[c.row][v] = c.count
+		}
+	}
+	return rows, b
+}
+
+func extract(res *lp.Result, en *enumeration, oracles []*overlay.FixedOracle, value float64) *Result {
+	out := &Result{Value: value, Trees: en.trees}
+	for i := range oracles {
+		rates := make([]float64, len(en.trees[i]))
+		total := 0.0
+		for j, v := range en.varOf[i] {
+			rates[j] = res.X[v]
+			total += res.X[v]
+		}
+		out.Rates = append(out.Rates, rates)
+		out.SessionRates = append(out.SessionRates, total)
+	}
+	return out
+}

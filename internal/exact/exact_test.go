@@ -1,0 +1,209 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+	"overcast/internal/routing"
+	"overcast/internal/topology"
+)
+
+func fixedOracles(t *testing.T, g *graph.Graph, sessions []*overlay.Session) []*overlay.FixedOracle {
+	t.Helper()
+	var members []graph.NodeID
+	for _, s := range sessions {
+		members = append(members, s.Members...)
+	}
+	rt := routing.NewIPRoutes(g, members)
+	var oracles []*overlay.FixedOracle
+	for _, s := range sessions {
+		o, err := overlay.NewFixedOracle(g, rt, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+	return oracles
+}
+
+func TestM1SingleTwoMemberSessionOnPath(t *testing.T) {
+	// Path 0-1-2 with capacity 10: the only tree of session {0,2} is the
+	// two-hop path; optimum rate 10.
+	net, _ := topology.Path(3, 10)
+	s, _ := overlay.NewSession(0, []graph.NodeID{0, 2}, 1)
+	res, err := MaxMulticommodityFlow(net.Graph, fixedOracles(t, net.Graph, []*overlay.Session{s}), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-10) > 1e-6 {
+		t.Fatalf("M1 value %v, want 10", res.Value)
+	}
+	if math.Abs(res.SessionRates[0]-10) > 1e-6 {
+		t.Fatalf("session rate %v", res.SessionRates[0])
+	}
+}
+
+func TestM1StarSessionSharedBottleneck(t *testing.T) {
+	// Star with center 0 and leaves 1..3, capacity 12. Session {1,2,3}:
+	// every overlay tree pushes flow twice over at least one spoke. The
+	// best trees are paths (e.g. 1-2, 2-3) using the middle member's spoke
+	// twice: bottleneck 12/2 = 6. Mixing the three path trees cannot beat
+	// capacity: each unit of session rate consumes 4 spoke-units total
+	// (2 overlay edges x 2 hops) over 3 spokes of 12 -> upper bound 9, but
+	// the doubled middle spoke binds per tree; LP optimum is 12*3/(4) = 9?
+	// We don't hand-wave: we just check the LP beats the best single tree
+	// and respects capacity.
+	net, _ := topology.Star(4, 12)
+	s, _ := overlay.NewSession(0, []graph.NodeID{1, 2, 3}, 1)
+	oracles := fixedOracles(t, net.Graph, []*overlay.Session{s})
+	res, err := MaxMulticommodityFlow(net.Graph, oracles, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value < 6-1e-9 {
+		t.Fatalf("LP %v below best single tree 6", res.Value)
+	}
+	// Verify capacity feasibility of the reported rates.
+	load := map[graph.EdgeID]float64{}
+	for i, trees := range res.Trees {
+		for j, tree := range trees {
+			for _, u := range tree.Use() {
+				load[u.Edge] += float64(u.Count) * res.Rates[i][j]
+			}
+		}
+	}
+	for e, l := range load {
+		if l > net.Graph.Edges[e].Capacity+1e-6 {
+			t.Fatalf("edge %d overloaded: %v", e, l)
+		}
+	}
+}
+
+func TestM1PrefersLargerSession(t *testing.T) {
+	// Two sessions sharing a bottleneck; the larger session has objective
+	// weight 1, the smaller less, so at the optimum the larger session
+	// should receive at least as much rate.
+	net, _ := topology.Dumbbell(4, 100, 10)
+	g := net.Graph
+	s1, _ := overlay.NewSession(0, []graph.NodeID{0, 1, 4, 5}, 1) // spans bottleneck
+	s2, _ := overlay.NewSession(1, []graph.NodeID{2, 6}, 1)       // also spans bottleneck
+	res, err := MaxMulticommodityFlow(g, fixedOracles(t, g, []*overlay.Session{s1, s2}), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SessionRates[0] < res.SessionRates[1]-1e-6 {
+		t.Fatalf("M1 gave larger session %v < smaller session %v",
+			res.SessionRates[0], res.SessionRates[1])
+	}
+}
+
+func TestM2EqualizesDemandRatio(t *testing.T) {
+	// Two identical 2-member sessions across a shared bottleneck with equal
+	// demands must each get half of it.
+	net, _ := topology.Dumbbell(3, 100, 10)
+	g := net.Graph
+	s1, _ := overlay.NewSession(0, []graph.NodeID{0, 3}, 1)
+	s2, _ := overlay.NewSession(1, []graph.NodeID{1, 4}, 1)
+	res, err := MaxConcurrentFlow(g, fixedOracles(t, g, []*overlay.Session{s1, s2}), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All routes cross the capacity-10 bridge once; lambda*1 per session,
+	// two sessions -> lambda = 5.
+	if math.Abs(res.Value-5) > 1e-6 {
+		t.Fatalf("lambda %v, want 5", res.Value)
+	}
+	if math.Abs(res.SessionRates[0]-res.SessionRates[1]) > 1e-6 {
+		t.Fatalf("unequal rates %v vs %v", res.SessionRates[0], res.SessionRates[1])
+	}
+}
+
+func TestM2RespectsDemandWeights(t *testing.T) {
+	// Same setting but session 2 demands twice as much: rates must be in
+	// ratio 1:2 and saturate the bridge.
+	net, _ := topology.Dumbbell(3, 100, 12)
+	g := net.Graph
+	s1, _ := overlay.NewSession(0, []graph.NodeID{0, 3}, 1)
+	s2, _ := overlay.NewSession(1, []graph.NodeID{1, 4}, 2)
+	res, err := MaxConcurrentFlow(g, fixedOracles(t, g, []*overlay.Session{s1, s2}), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-4) > 1e-6 {
+		t.Fatalf("lambda %v, want 4 (4*1 + 4*2 = 12)", res.Value)
+	}
+	if math.Abs(res.SessionRates[1]-2*res.SessionRates[0]) > 1e-6 {
+		t.Fatalf("rates %v not in demand ratio", res.SessionRates)
+	}
+}
+
+func TestM2LambdaIsMinRatio(t *testing.T) {
+	// Property: reported lambda equals min_i rate_i/dem_i on a random small
+	// instance.
+	net, err := topology.Waxman(topology.DefaultWaxman(20), rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	s1, _ := overlay.NewSession(0, []graph.NodeID{0, 5, 9}, 3)
+	s2, _ := overlay.NewSession(1, []graph.NodeID{2, 12, 17, 19}, 1)
+	res, err := MaxConcurrentFlow(g, fixedOracles(t, g, []*overlay.Session{s1, s2}), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := math.Inf(1)
+	dems := []float64{3, 1}
+	for i, r := range res.SessionRates {
+		if v := r / dems[i]; v < min {
+			min = v
+		}
+	}
+	if math.Abs(min-res.Value) > 1e-6 {
+		t.Fatalf("lambda %v but min ratio %v", res.Value, min)
+	}
+}
+
+func TestEnumerationGuard(t *testing.T) {
+	net, _ := topology.Complete(9, 10)
+	members := make([]graph.NodeID, 9)
+	for i := range members {
+		members[i] = i
+	}
+	s, _ := overlay.NewSession(0, members, 1)
+	if _, err := MaxMulticommodityFlow(net.Graph, fixedOracles(t, net.Graph, []*overlay.Session{s}), 6); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+func BenchmarkExactM1Size5(b *testing.B) {
+	net, err := topology.Waxman(topology.DefaultWaxman(30), rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := net.Graph
+	s1, _ := overlay.NewSession(0, []graph.NodeID{0, 7, 14, 21, 28}, 1)
+	s2, _ := overlay.NewSession(1, []graph.NodeID{3, 11, 19}, 1)
+	sessions := []*overlay.Session{s1, s2}
+	var members []graph.NodeID
+	for _, s := range sessions {
+		members = append(members, s.Members...)
+	}
+	rt := routing.NewIPRoutes(g, members)
+	var oracles []*overlay.FixedOracle
+	for _, s := range sessions {
+		o, err := overlay.NewFixedOracle(g, rt, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaxMulticommodityFlow(g, oracles, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

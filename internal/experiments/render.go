@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"overcast/internal/stats"
+)
+
+// RenderFlowTable prints MaxFlow sweep rows in the paper's Table II/VII
+// layout: one column per approximation ratio.
+func RenderFlowTable(title string, rows []FlowRow) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	writeCells(&sb, "Approximation Ratio", rows, func(r FlowRow) string { return fmt.Sprintf("%.2f", r.Ratio) })
+	if len(rows) > 0 {
+		for i := range rows[0].SessionRates {
+			i := i
+			writeCells(&sb, fmt.Sprintf("Rate of Session %d", i+1), rows, func(r FlowRow) string {
+				return fmt.Sprintf("%.2f", r.SessionRates[i])
+			})
+		}
+	}
+	writeCells(&sb, "Overall Throughput", rows, func(r FlowRow) string { return fmt.Sprintf("%.2f", r.Throughput) })
+	if len(rows) > 0 {
+		for i := range rows[0].TreeCounts {
+			i := i
+			writeCells(&sb, fmt.Sprintf("Trees in Session %d", i+1), rows, func(r FlowRow) string {
+				return fmt.Sprintf("%d", r.TreeCounts[i])
+			})
+		}
+	}
+	writeCells(&sb, "Running Time (MST ops)", rows, func(r FlowRow) string { return fmt.Sprintf("%d", r.MSTOps) })
+	return sb.String()
+}
+
+// RenderMCFTable prints MaxConcurrentFlow sweep rows in the paper's Table
+// IV/VIII layout, with the two-part running time (main + beta prestep).
+func RenderMCFTable(title string, rows []MCFRow) string {
+	var sb strings.Builder
+	flowRows := make([]FlowRow, len(rows))
+	for i, r := range rows {
+		flowRows[i] = r.FlowRow
+	}
+	sb.WriteString(RenderFlowTable(title, flowRows))
+	writeCells(&sb, "  + Prestep (MST ops)", rows2flow(rows), func(r FlowRow) string { return fmt.Sprintf("%d", r.MSTOps) })
+	writeCellsMCF(&sb, "Lambda (min rate/dem)", rows, func(r MCFRow) string { return fmt.Sprintf("%.4f", r.Lambda) })
+	return sb.String()
+}
+
+// rows2flow projects the prestep op counts into FlowRows for rendering.
+func rows2flow(rows []MCFRow) []FlowRow {
+	out := make([]FlowRow, len(rows))
+	for i, r := range rows {
+		out[i] = FlowRow{Ratio: r.Ratio, MSTOps: r.PrestepOps}
+	}
+	return out
+}
+
+func writeCells(sb *strings.Builder, label string, rows []FlowRow, cell func(FlowRow) string) {
+	fmt.Fprintf(sb, "%-26s", label)
+	for _, r := range rows {
+		fmt.Fprintf(sb, "%12s", cell(r))
+	}
+	sb.WriteByte('\n')
+}
+
+func writeCellsMCF(sb *strings.Builder, label string, rows []MCFRow, cell func(MCFRow) string) {
+	fmt.Fprintf(sb, "%-26s", label)
+	for _, r := range rows {
+		fmt.Fprintf(sb, "%12s", cell(r))
+	}
+	sb.WriteByte('\n')
+}
+
+// RenderTreeLimit prints the Fig. 5/6 sweeps as aligned tables.
+func RenderTreeLimit(res *TreeLimitResult) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 5a/6: random algorithm\n")
+	fmt.Fprintf(&sb, "%-10s%14s%14s%14s%12s%12s\n", "maxTrees", "throughput", "rate(s1)", "rate(s2)", "trees(s1)", "trees(s2)")
+	for j, n := range res.MaxTrees {
+		pt := res.Random[j]
+		fmt.Fprintf(&sb, "%-10d%14.2f%14.2f%14.2f%12.2f%12.2f\n",
+			n, pt.Throughput, at(pt.SessionRates, 0), at(pt.SessionRates, 1), at(pt.TreesUsed, 0), at(pt.TreesUsed, 1))
+	}
+	for mu, pts := range res.Online {
+		fmt.Fprintf(&sb, "Fig 5/6: online algorithm (mu=%.0f)\n", mu)
+		fmt.Fprintf(&sb, "%-10s%14s%14s%14s%12s%12s\n", "maxTrees", "throughput", "rate(s1)", "rate(s2)", "trees(s1)", "trees(s2)")
+		for j, n := range res.MaxTrees {
+			pt := pts[j]
+			fmt.Fprintf(&sb, "%-10d%14.2f%14.2f%14.2f%12.2f%12.2f\n",
+				n, pt.Throughput, at(pt.SessionRates, 0), at(pt.SessionRates, 1), at(pt.TreesUsed, 0), at(pt.TreesUsed, 1))
+		}
+	}
+	return sb.String()
+}
+
+func at(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}
+
+// RenderCDFFamily prints a labeled family of distribution curves.
+func RenderCDFFamily(title string, labels []string, curves [][]stats.Point, maxPts int) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	for i, c := range curves {
+		label := fmt.Sprintf("series %d", i)
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&sb, "-- %s\n", label)
+		sb.WriteString(stats.RenderCurve(c, maxPts))
+	}
+	return sb.String()
+}

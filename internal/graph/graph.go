@@ -1,0 +1,227 @@
+// Package graph implements the capacitated undirected physical network used
+// throughout the library: nodes are routers/end hosts, edges carry a capacity
+// c_e and a mutable length d_e (the dual variable of the Garg–Könemann
+// framework). The representation is adjacency lists over a flat edge array so
+// that edge state (capacity, length, flow) can be addressed by a stable
+// integer EdgeID from every algorithm.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex of the physical network.
+type NodeID = int
+
+// EdgeID indexes into Graph.Edges. An undirected edge has a single EdgeID no
+// matter which endpoint it is traversed from.
+type EdgeID = int
+
+// Edge is one undirected physical link.
+type Edge struct {
+	U, V     NodeID  // endpoints, U < V by construction
+	Capacity float64 // c_e > 0
+}
+
+// Other returns the endpoint of e opposite to n. It panics if n is not an
+// endpoint of e.
+func (e Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge (%d,%d)", n, e.U, e.V))
+}
+
+// Graph is a simple undirected graph with per-edge capacities. It is built
+// once via NewBuilder/AddEdge/Build and is immutable afterwards; algorithms
+// keep their own per-edge state (lengths, flows) in parallel slices indexed
+// by EdgeID.
+type Graph struct {
+	n     int
+	Edges []Edge
+	// adj[v] lists the edges incident to v.
+	adj [][]EdgeID
+	// index maps an endpoint pair (min,max) to its EdgeID.
+	index map[[2]NodeID]EdgeID
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Adj returns the edges incident to v. The returned slice must not be
+// modified.
+func (g *Graph) Adj(v NodeID) []EdgeID { return g.adj[v] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// EdgeBetween returns the edge joining u and v, if one exists.
+func (g *Graph) EdgeBetween(u, v NodeID) (EdgeID, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	id, ok := g.index[[2]NodeID{u, v}]
+	return id, ok
+}
+
+// MinCapacity returns the smallest edge capacity, or 0 for an edgeless graph.
+func (g *Graph) MinCapacity() float64 {
+	if len(g.Edges) == 0 {
+		return 0
+	}
+	min := g.Edges[0].Capacity
+	for _, e := range g.Edges[1:] {
+		if e.Capacity < min {
+			min = e.Capacity
+		}
+	}
+	return min
+}
+
+// TotalCapacity returns Σ_e c_e.
+func (g *Graph) TotalCapacity() float64 {
+	total := 0.0
+	for _, e := range g.Edges {
+		total += e.Capacity
+	}
+	return total
+}
+
+// Connected reports whether the graph is connected (the empty graph and the
+// single-node graph are connected).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.adj[v] {
+			w := g.Edges[id].Other(v)
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are rejected at AddEdge time so that every downstream
+// algorithm can assume a simple graph.
+type Builder struct {
+	n     int
+	edges []Edge
+	seen  map[[2]NodeID]bool
+}
+
+// NewBuilder creates a builder for a graph on n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, seen: make(map[[2]NodeID]bool)}
+}
+
+// AddEdge adds the undirected edge {u,v} with the given capacity. It returns
+// an error for out-of-range endpoints, self-loops, duplicate edges, and
+// non-positive capacities.
+func (b *Builder) AddEdge(u, v NodeID, capacity float64) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: endpoint out of range: (%d,%d) with n=%d", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("graph: non-positive capacity %v on edge (%d,%d)", capacity, u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]NodeID{u, v}
+	if b.seen[key] {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	b.seen[key] = true
+	b.edges = append(b.edges, Edge{U: u, V: v, Capacity: capacity})
+	return nil
+}
+
+// HasEdge reports whether {u,v} has already been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return b.seen[[2]NodeID{u, v}]
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build finalizes the graph. Edges are sorted by endpoints so that EdgeIDs
+// are a deterministic function of the edge set, independent of insertion
+// order.
+func (b *Builder) Build() *Graph {
+	edges := append([]Edge(nil), b.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	g := &Graph{
+		n:     b.n,
+		Edges: edges,
+		adj:   make([][]EdgeID, b.n),
+		index: make(map[[2]NodeID]EdgeID, len(edges)),
+	}
+	for id, e := range edges {
+		g.adj[e.U] = append(g.adj[e.U], id)
+		g.adj[e.V] = append(g.adj[e.V], id)
+		g.index[[2]NodeID{e.U, e.V}] = id
+	}
+	return g
+}
+
+// Lengths is a per-edge length assignment d_e, the dual variable of the
+// Garg–Könemann scheme. It is kept separate from Graph so that concurrent
+// solvers can own independent length functions over one shared graph.
+type Lengths []float64
+
+// NewLengths returns a length function over g initialized to init on every
+// edge.
+func NewLengths(g *Graph, init float64) Lengths {
+	l := make(Lengths, g.NumEdges())
+	for i := range l {
+		l[i] = init
+	}
+	return l
+}
+
+// Clone returns an independent copy.
+func (l Lengths) Clone() Lengths {
+	return append(Lengths(nil), l...)
+}
+
+// PathLength returns Σ d_e over the given edge ids.
+func (l Lengths) PathLength(edges []EdgeID) float64 {
+	total := 0.0
+	for _, id := range edges {
+		total += l[id]
+	}
+	return total
+}

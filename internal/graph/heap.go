@@ -1,0 +1,146 @@
+package graph
+
+// IndexedHeap is a binary min-heap over items 0..n-1 keyed by float64
+// priorities, with DecreaseKey support. It backs Prim's minimum spanning
+// tree and Dijkstra's shortest paths, the two inner loops of every solver in
+// this library, so it avoids interface dispatch and allocation on the hot
+// path.
+type IndexedHeap struct {
+	keys []float64 // key per item id
+	heap []int     // heap of item ids
+	pos  []int     // pos[item] = index in heap, -1 if absent
+}
+
+// NewIndexedHeap creates an empty heap over item ids [0, n).
+func NewIndexedHeap(n int) *IndexedHeap {
+	h := &IndexedHeap{
+		keys: make([]float64, n),
+		heap: make([]int, 0, n),
+		pos:  make([]int, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently in the heap.
+func (h *IndexedHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether item is currently queued.
+func (h *IndexedHeap) Contains(item int) bool { return h.pos[item] >= 0 }
+
+// Key returns the current key of item. Only meaningful if Contains(item) or
+// item was previously popped (its last key is retained).
+func (h *IndexedHeap) Key(item int) float64 { return h.keys[item] }
+
+// Push inserts item with the given key. It panics if the item is already
+// queued.
+func (h *IndexedHeap) Push(item int, key float64) {
+	if h.pos[item] >= 0 {
+		panic("graph: IndexedHeap.Push of queued item")
+	}
+	h.keys[item] = key
+	h.pos[item] = len(h.heap)
+	h.heap = append(h.heap, item)
+	h.up(len(h.heap) - 1)
+}
+
+// DecreaseKey lowers item's key. It panics if the item is not queued or the
+// new key is larger than the current one.
+func (h *IndexedHeap) DecreaseKey(item int, key float64) {
+	i := h.pos[item]
+	if i < 0 {
+		panic("graph: DecreaseKey of absent item")
+	}
+	if key > h.keys[item] {
+		panic("graph: DecreaseKey with larger key")
+	}
+	h.keys[item] = key
+	h.up(i)
+}
+
+// PushOrDecrease inserts item, or lowers its key if already queued and the
+// new key is smaller. It reports whether the heap changed.
+func (h *IndexedHeap) PushOrDecrease(item int, key float64) bool {
+	if h.pos[item] < 0 {
+		h.Push(item, key)
+		return true
+	}
+	if key < h.keys[item] {
+		h.DecreaseKey(item, key)
+		return true
+	}
+	return false
+}
+
+// Pop removes and returns the item with the smallest key. Ties break toward
+// the smaller item id so that the heap's observable behaviour is
+// deterministic. It panics on an empty heap.
+func (h *IndexedHeap) Pop() (item int, key float64) {
+	if len(h.heap) == 0 {
+		panic("graph: Pop from empty IndexedHeap")
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top, h.keys[top]
+}
+
+// Reset empties the heap without reallocating.
+func (h *IndexedHeap) Reset() {
+	for _, item := range h.heap {
+		h.pos[item] = -1
+	}
+	h.heap = h.heap[:0]
+}
+
+// less orders heap slots i, j by (key, item id).
+func (h *IndexedHeap) less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if h.keys[a] != h.keys[b] {
+		return h.keys[a] < h.keys[b]
+	}
+	return a < b
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *IndexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,175 @@
+// Package lp implements a dense primal simplex solver for linear programs of
+// the form
+//
+//	maximize   c·x
+//	subject to A·x <= b,  x >= 0,  b >= 0
+//
+// which is exactly the shape of the paper's M1/M2 programs once the tree
+// sets are enumerated explicitly (capacity rows have b = c_e > 0; M2's
+// demand-coverage rows rearrange to b = 0). Because b >= 0 the all-slack
+// basis is feasible and no phase-1 is needed; Bland's rule guarantees
+// termination under the degeneracy that b = 0 rows introduce.
+//
+// The solver exists to provide *exact* optima on small instances — the role
+// the paper assigns to the ellipsoid method — against which the FPTAS
+// implementations are validated. It is O(rows·cols) per pivot and dense, so
+// keep instances small (a few thousand variables).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is a max c·x s.t. Ax <= b, x >= 0 instance. All rows of A must
+// have len(C) entries and B must be componentwise >= 0.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Result holds the optimum of a Problem.
+type Result struct {
+	X     []float64 // optimal primal solution
+	Value float64   // optimal objective value
+	// Duals are the optimal dual variables, one per constraint row (the
+	// shadow price of each b_i). They drive the column-generation solver's
+	// pricing step.
+	Duals []float64
+	// Iterations is the number of simplex pivots performed.
+	Iterations int
+}
+
+const tol = 1e-9
+
+// Solve runs the simplex method on p. It returns an error for malformed
+// input, unbounded problems, or iteration-limit exhaustion (which would
+// indicate a bug, since Bland's rule precludes cycling).
+func Solve(p Problem) (*Result, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m {
+		return nil, fmt.Errorf("lp: %d rows but %d bounds", m, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: row %d has %d entries, want %d", i, len(row), n)
+		}
+		if p.B[i] < 0 {
+			return nil, fmt.Errorf("lp: negative bound b[%d]=%v (standard-form solver needs b>=0)", i, p.B[i])
+		}
+	}
+	if n == 0 {
+		return &Result{X: nil, Value: 0}, nil
+	}
+
+	// Tableau: m rows x (n + m + 1) columns. Columns 0..n-1 are structural
+	// variables, n..n+m-1 slacks, last column the RHS. Row m is the
+	// objective row (reduced costs), stored negated so that optimality is
+	// "no negative entries".
+	width := n + m + 1
+	tab := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		row := make([]float64, width)
+		copy(row, p.A[i])
+		row[n+i] = 1
+		row[width-1] = p.B[i]
+		tab[i] = row
+	}
+	obj := make([]float64, width)
+	for j := 0; j < n; j++ {
+		obj[j] = -p.C[j]
+	}
+	tab[m] = obj
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxIter := 50 * (n + m + 10)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Bland's rule: entering variable = smallest index with negative
+		// reduced cost.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if tab[m][j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test; Bland tie-break on smallest basis variable index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > tol {
+				ratio := tab[i][width-1] / a
+				if ratio < bestRatio-tol || (ratio < bestRatio+tol && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, fmt.Errorf("lp: problem is unbounded (column %d)", enter)
+		}
+		pivot(tab, leave, enter)
+		basis[leave] = enter
+	}
+	if iters >= maxIter {
+		return nil, fmt.Errorf("lp: iteration limit %d exceeded", maxIter)
+	}
+
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = tab[i][width-1]
+		}
+	}
+	value := 0.0
+	for j := 0; j < n; j++ {
+		value += p.C[j] * x[j]
+	}
+	// At optimality the reduced cost of slack column i equals the dual
+	// price y_i (slack columns form the identity in A, and the objective
+	// row holds c_B B^{-1} A - c with c_slack = 0).
+	duals := make([]float64, m)
+	for i := 0; i < m; i++ {
+		d := tab[m][n+i]
+		if d < 0 {
+			d = 0 // clip numerical noise; duals of <= rows are nonnegative
+		}
+		duals[i] = d
+	}
+	return &Result{X: x, Value: value, Duals: duals, Iterations: iters}, nil
+}
+
+// pivot performs Gauss-Jordan elimination around tab[row][col].
+func pivot(tab [][]float64, row, col int) {
+	width := len(tab[row])
+	pv := tab[row][col]
+	inv := 1 / pv
+	for j := 0; j < width; j++ {
+		tab[row][j] *= inv
+	}
+	tab[row][col] = 1 // avoid drift
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		factor := tab[i][col]
+		if factor == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= factor * tab[row][j]
+		}
+		tab[i][col] = 0
+	}
+}

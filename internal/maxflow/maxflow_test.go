@@ -1,0 +1,231 @@
+package maxflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/rng"
+)
+
+func TestSingleArc(t *testing.T) {
+	f := NewNetwork(2)
+	id := f.AddArc(0, 1, 7)
+	if got := f.MaxFlow(0, 1); got != 7 {
+		t.Fatalf("flow = %v, want 7", got)
+	}
+	if got := f.Flow(id, 7); got != 7 {
+		t.Fatalf("arc flow = %v", got)
+	}
+	if f.Residual(id) != 0 {
+		t.Fatal("residual should be 0")
+	}
+}
+
+func TestSeriesBottleneck(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddArc(0, 1, 10)
+	f.AddArc(1, 2, 3)
+	if got := f.MaxFlow(0, 2); got != 3 {
+		t.Fatalf("flow = %v, want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	f := NewNetwork(4)
+	f.AddArc(0, 1, 4)
+	f.AddArc(1, 3, 4)
+	f.AddArc(0, 2, 5)
+	f.AddArc(2, 3, 2)
+	if got := f.MaxFlow(0, 3); got != 6 {
+		t.Fatalf("flow = %v, want 6", got)
+	}
+}
+
+func TestClassicCLRSNetwork(t *testing.T) {
+	// The CLRS Figure 26.1 network with max flow 23.
+	f := NewNetwork(6)
+	f.AddArc(0, 1, 16)
+	f.AddArc(0, 2, 13)
+	f.AddArc(1, 2, 10)
+	f.AddArc(2, 1, 4)
+	f.AddArc(1, 3, 12)
+	f.AddArc(3, 2, 9)
+	f.AddArc(2, 4, 14)
+	f.AddArc(4, 3, 7)
+	f.AddArc(3, 5, 20)
+	f.AddArc(4, 5, 4)
+	if got := f.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("flow = %v, want 23", got)
+	}
+}
+
+func TestUndirectedEdgeBothDirections(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddEdge(0, 1, 5)
+	f.AddEdge(1, 2, 5)
+	if got := f.MaxFlow(0, 2); got != 5 {
+		t.Fatalf("forward flow = %v, want 5", got)
+	}
+	f2 := NewNetwork(3)
+	f2.AddEdge(0, 1, 5)
+	f2.AddEdge(1, 2, 5)
+	if got := f2.MaxFlow(2, 0); got != 5 {
+		t.Fatalf("reverse flow = %v, want 5", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddArc(0, 1, 5)
+	if got := f.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("flow across components = %v", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	f := NewNetwork(4)
+	f.AddArc(0, 1, 10)
+	f.AddArc(1, 2, 1) // the cut
+	f.AddArc(2, 3, 10)
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("flow = %v", got)
+	}
+	side := f.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Fatalf("cut side wrong: %v", side)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	f := NewNetwork(2)
+	func() {
+		defer func() { _ = recover() }()
+		f.AddArc(0, 5, 1)
+		t.Error("out-of-range arc did not panic")
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		f.AddArc(0, 1, -1)
+		t.Error("negative capacity did not panic")
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		f.MaxFlow(1, 1)
+		t.Error("s==t did not panic")
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		NewNetwork(0)
+		t.Error("empty network did not panic")
+	}()
+}
+
+// TestFlowEqualsMinCutRandom property-tests weak duality on random graphs:
+// the computed flow must equal the capacity of the min cut found.
+func TestFlowEqualsMinCutRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 6 + r.Intn(8)
+		f := NewNetwork(n)
+		type arcRec struct {
+			u, v int
+			c    float64
+		}
+		var recs []arcRec
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			c := 1 + float64(r.Intn(10))
+			f.AddArc(u, v, c)
+			recs = append(recs, arcRec{u, v, c})
+		}
+		flow := f.MaxFlow(0, n-1)
+		side := f.MinCutSide(0)
+		if side[n-1] {
+			// Sink reachable => flow must have been unbounded? impossible
+			// with finite capacities; means flow is 0-improvable, error.
+			return false
+		}
+		cut := 0.0
+		for _, a := range recs {
+			if side[a.u] && !side[a.v] {
+				cut += a.c
+			}
+		}
+		return math.Abs(flow-cut) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowConservationRandom checks Kirchhoff conservation at every interior
+// node of a random network.
+func TestFlowConservationRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(6)
+		f := NewNetwork(n)
+		type rec struct {
+			id   int
+			u, v int
+			c    float64
+		}
+		var recs []rec
+		for i := 0; i < 3*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			c := float64(1 + r.Intn(9))
+			id := f.AddArc(u, v, c)
+			recs = append(recs, rec{id, u, v, c})
+		}
+		total := f.MaxFlow(0, n-1)
+		net := make([]float64, n)
+		for _, a := range recs {
+			fl := f.Flow(a.id, a.c)
+			if fl < -1e-9 || fl > a.c+1e-9 {
+				return false
+			}
+			net[a.u] -= fl
+			net[a.v] += fl
+		}
+		if math.Abs(net[0]+total) > 1e-6 || math.Abs(net[n-1]-total) > 1e-6 {
+			return false
+		}
+		for v := 1; v < n-1; v++ {
+			if math.Abs(net[v]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDinicGrid(b *testing.B) {
+	// 20x20 grid, flow corner to corner.
+	const side = 20
+	id := func(r, c int) int { return r*side + c }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewNetwork(side * side)
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if c+1 < side {
+					f.AddEdge(id(r, c), id(r, c+1), 1)
+				}
+				if r+1 < side {
+					f.AddEdge(id(r, c), id(r+1, c), 1)
+				}
+			}
+		}
+		f.MaxFlow(0, side*side-1)
+	}
+}

@@ -1,0 +1,111 @@
+package overlay
+
+import (
+	"fmt"
+
+	"overcast/internal/routing"
+)
+
+// This file computes the classic overlay-multicast quality metrics (link
+// stress and stretch) for trees. The paper's related work (Narada et al.)
+// optimizes these directly; here they quantify the side effects of
+// throughput-optimal tree selection.
+
+// Stress returns the maximum and mean multiplicity with which the tree
+// traverses any physical link (n_e(t)): the redundant-copies metric. Mean
+// is over links the tree actually uses; an empty tree returns zeros.
+func (t *Tree) Stress() (max int, mean float64) {
+	use := t.Use()
+	if len(use) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for _, u := range use {
+		total += u.Count
+		if u.Count > max {
+			max = u.Count
+		}
+	}
+	return max, float64(total) / float64(len(use))
+}
+
+// Depths returns each member's overlay depth (hops from the source, member
+// 0, through the tree's overlay edges). It errors if the pairs do not span
+// the members.
+func (t *Tree) Depths(s *Session) ([]int, error) {
+	n := s.Size()
+	adj := make([][]int, n)
+	for _, p := range t.Pairs {
+		adj[p[0]] = append(adj[p[0]], p[1])
+		adj[p[1]] = append(adj[p[1]], p[0])
+	}
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	queue := []int{0}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range adj[v] {
+			if depth[w] < 0 {
+				depth[w] = depth[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for m, d := range depth {
+		if d < 0 {
+			return nil, fmt.Errorf("overlay: member %d unreachable in tree", m)
+		}
+	}
+	return depth, nil
+}
+
+// Stretch returns, for every receiver (members 1..n-1), the ratio of its
+// tree path length (physical hops from the source through the overlay tree)
+// to its direct unicast route length, and the maximum of those ratios.
+// Direct routes are read from rt.
+func (t *Tree) Stretch(s *Session, rt *routing.IPRoutes) ([]float64, float64, error) {
+	n := s.Size()
+	// Hop distance from the source through the tree: BFS over overlay
+	// edges accumulating each route's physical hop count.
+	adj := make([][]struct{ to, hops int }, n)
+	for k, p := range t.Pairs {
+		h := t.Routes[k].Hops()
+		adj[p[0]] = append(adj[p[0]], struct{ to, hops int }{p[1], h})
+		adj[p[1]] = append(adj[p[1]], struct{ to, hops int }{p[0], h})
+	}
+	treeHops := make([]int, n)
+	for i := range treeHops {
+		treeHops[i] = -1
+	}
+	treeHops[0] = 0
+	queue := []int{0}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, e := range adj[v] {
+			if treeHops[e.to] < 0 {
+				treeHops[e.to] = treeHops[v] + e.hops
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	ratios := make([]float64, 0, n-1)
+	maxRatio := 0.0
+	for m := 1; m < n; m++ {
+		if treeHops[m] < 0 {
+			return nil, 0, fmt.Errorf("overlay: member %d unreachable in tree", m)
+		}
+		direct := rt.Hops(s.Members[0], s.Members[m])
+		if direct <= 0 {
+			return nil, 0, fmt.Errorf("overlay: no direct route source->%d", s.Members[m])
+		}
+		ratio := float64(treeHops[m]) / float64(direct)
+		ratios = append(ratios, ratio)
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+	}
+	return ratios, maxRatio, nil
+}

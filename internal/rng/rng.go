@@ -1,0 +1,205 @@
+// Package rng provides a small, fast, deterministic, splittable
+// pseudo-random number generator used by every stochastic component of the
+// library (topology generation, randomized rounding, arrival sequences).
+//
+// Determinism matters here: every experiment in the paper reproduction must
+// be re-runnable bit-for-bit from a seed, including experiments that fan out
+// across goroutines. math/rand's global source is neither splittable nor
+// stable across fan-out orders, so we implement xoshiro256** (public domain,
+// Blackman & Vigna) with a SplitMix64 seeder. Each parallel task derives its
+// own child generator via Split, which is order-independent: Split(i) depends
+// only on the parent seed and i.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is invalid; use New.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances x and returns the next SplitMix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed via SplitMix64, as recommended by
+// the xoshiro authors to avoid correlated low-entropy states.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1 // xoshiro must not be seeded with all zeros
+	}
+	return r
+}
+
+// Split derives the i-th child generator. Children with distinct i (or from
+// parents with distinct seeds) are statistically independent streams, and the
+// derivation is order-independent, so parallel tasks may split in any order.
+func (r *RNG) Split(i uint64) *RNG {
+	// Mix the parent state with the child index through SplitMix64.
+	x := r.s0 ^ (r.s2 << 1) ^ (i * 0xd1342543de82ef95)
+	return New(splitmix64(&x) ^ i)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1,
+// via inverse-transform sampling.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place (Fisher–Yates).
+func (r *RNG) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample k out of range")
+	}
+	if k*4 >= n {
+		// Dense case: partial Fisher–Yates.
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			p[i], p[j] = p[j], p[i]
+		}
+		return append([]int(nil), p[:k]...)
+	}
+	// Sparse case: rejection into a set.
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// WeightedChoice returns an index i with probability weights[i]/Σweights.
+// Non-positive total weight falls back to uniform choice. It panics on an
+// empty slice.
+func (r *RNG) WeightedChoice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: WeightedChoice on empty slice")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,171 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/graph"
+	"overcast/internal/rng"
+	"overcast/internal/topology"
+)
+
+func TestWeightedRoutesFollowWeights(t *testing.T) {
+	// Square 0-1-2-3-0 with a heavy edge 0-1: weighted route 0->1 must
+	// detour via 3 and 2.
+	net, _ := topology.Ring(4, 10)
+	g := net.Graph
+	w := graph.NewLengths(g, 1)
+	e01, _ := g.EdgeBetween(0, 1)
+	w[e01] = 10
+	rt := NewWeightedIPRoutes(g, []graph.NodeID{0, 1}, w)
+	p, err := rt.Route(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 3 {
+		t.Fatalf("weighted route took %d hops, want detour of 3", p.Hops())
+	}
+	if rt.Hops(0, 1) != 3 {
+		t.Fatalf("Hops reports %d, want 3", rt.Hops(0, 1))
+	}
+}
+
+func TestWeightedRoutesSymmetric(t *testing.T) {
+	net, err := topology.Waxman(topology.DefaultWaxman(40), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	w := net.LinkDelays()
+	rt := NewWeightedIPRoutes(g, allNodes(g), w)
+	for u := 0; u < 40; u += 4 {
+		for v := u + 1; v < 40; v += 7 {
+			puv, err1 := rt.Route(u, v)
+			pvu, err2 := rt.Route(v, u)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("route error: %v %v", err1, err2)
+			}
+			rev := pvu.Reverse()
+			if len(puv.Edges) != len(rev.Edges) {
+				t.Fatalf("asymmetric weighted routes %d vs %d", len(puv.Edges), len(rev.Edges))
+			}
+			for i := range puv.Edges {
+				if puv.Edges[i] != rev.Edges[i] {
+					t.Fatalf("weighted route(%d,%d) not reverse of (%d,%d)", u, v, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedRoutesMatchBFSOnUnitWeights(t *testing.T) {
+	check := func(seed uint64) bool {
+		net, err := topology.Waxman(topology.DefaultWaxman(25), rng.New(seed))
+		if err != nil {
+			return false
+		}
+		g := net.Graph
+		unit := graph.NewLengths(g, 1)
+		wrt := NewWeightedIPRoutes(g, allNodes(g), unit)
+		brt := NewIPRoutes(g, allNodes(g))
+		for v := 1; v < g.NumNodes(); v++ {
+			if wrt.Hops(0, v) != brt.Hops(0, v) {
+				return false
+			}
+			p, err := wrt.Route(0, v)
+			if err != nil || p.Validate(g) != nil {
+				return false
+			}
+			if p.Hops() != brt.Hops(0, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRoutesAreWeightShortest(t *testing.T) {
+	// The total weight of every returned route must equal the Dijkstra
+	// distance.
+	net, err := topology.Waxman(topology.DefaultWaxman(30), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	w := net.LinkDelays()
+	rt := NewWeightedIPRoutes(g, allNodes(g), w)
+	dist, _ := ShortestPaths(g, 0, w)
+	for v := 1; v < g.NumNodes(); v++ {
+		p, err := rt.Route(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, e := range p.Edges {
+			total += w[e]
+		}
+		if diff := total - dist[v]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("route 0->%d weight %v != shortest %v", v, total, dist[v])
+		}
+	}
+}
+
+func TestWeightedRoutesUnreachableAndSelf(t *testing.T) {
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	w := graph.NewLengths(g, 1)
+	rt := NewWeightedIPRoutes(g, []graph.NodeID{0, 2}, w)
+	if _, err := rt.Route(0, 2); err == nil {
+		t.Fatal("cross-component weighted route did not error")
+	}
+	if rt.Hops(0, 2) != -1 {
+		t.Fatal("unreachable weighted hops should be -1")
+	}
+	p, err := rt.Route(2, 2)
+	if err != nil || p.Hops() != 0 {
+		t.Fatal("self route wrong")
+	}
+}
+
+func TestWeightedRoutesPanicsOnSizeMismatch(t *testing.T) {
+	net, _ := topology.Ring(4, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short weight vector did not panic")
+		}
+	}()
+	NewWeightedIPRoutes(net.Graph, []graph.NodeID{0}, graph.Lengths{1})
+}
+
+func TestLinkDelaysFallbackWithoutPositions(t *testing.T) {
+	net, _ := topology.Ring(5, 10) // synthetic: no positions
+	w := net.LinkDelays()
+	for _, v := range w {
+		if v != 1 {
+			t.Fatalf("expected unit fallback, got %v", v)
+		}
+	}
+	wax, err := topology.Waxman(topology.DefaultWaxman(10), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := wax.LinkDelays()
+	varies := false
+	for _, v := range dw[1:] {
+		if v != dw[0] {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("positioned network should have varying delays")
+	}
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"overcast/internal/core"
+)
+
+// This file adds a chunk-level store-and-forward simulator on top of the
+// fluid model in sim.go. Where the fluid simulator answers "are the
+// allocated rates deliverable", the chunk simulator answers the questions a
+// streaming deployment asks: how deep is the relay pipeline (start-up
+// latency), and how does the stream position at each receiver track the
+// source over time.
+//
+// Model: each tree is a store-and-forward pipeline over its overlay edges.
+// Every step of dt seconds the source appends rate·dt units to its stream;
+// an overlay edge forwards backlog from its parent's position to its
+// child's, limited by the physical link budgets along its route (shared
+// with all other trees, proportionally throttled — same rule as the fluid
+// model). Positions update Jacobi-style within a step (all children move
+// toward their parent's position as of the start of the advance phase), so
+// data crosses one overlay hop per step. Measured at step boundaries the
+// steady-state lag of a receiver at overlay depth d is (d-1)·rate·dt, and
+// its goodput matches the tree rate exactly when the allocation is
+// feasible.
+
+// ChunkConfig controls a chunk-level run.
+type ChunkConfig struct {
+	Steps   int     // simulation steps (>= 1)
+	DT      float64 // step length in seconds (> 0)
+	Workers int     // goroutine pool size (0 = GOMAXPROCS)
+}
+
+// ChunkReport summarizes a chunk-level run.
+type ChunkReport struct {
+	// SourcePosition[i] is the total stream volume session i's sources
+	// emitted.
+	SourcePosition []float64
+	// ReceiverRate[i] is the session's aggregate receiver goodput
+	// (sum over trees and receivers of position advance / duration).
+	ReceiverRate []float64
+	// MaxDepth[i] is the deepest overlay pipeline (in overlay hops) of
+	// session i — its start-up latency in steps.
+	MaxDepth []int
+	// MaxLagUnits[i] is the largest end-of-run stream lag (source position
+	// minus receiver position) over session i's receivers, in data units.
+	MaxLagUnits []float64
+	Steps       int
+}
+
+// chunkEdge is one overlay hop of one tree's pipeline.
+type chunkEdge struct {
+	tree   int
+	parent int // member index
+	child  int
+	use    []useEntry // physical edges of this overlay hop's route
+}
+
+// chunkTree is one tree's pipeline state.
+type chunkTree struct {
+	session int
+	rate    float64
+	// pos[m] is member m's stream position.
+	pos, next []float64
+	depth     []int
+	order     []chunkEdge // BFS order from the source (member 0)
+}
+
+// RunChunks simulates sol chunk-by-chunk under cfg.
+func RunChunks(sol *core.Solution, cfg ChunkConfig) (*ChunkReport, error) {
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("sim: Steps must be >=1, got %d", cfg.Steps)
+	}
+	if cfg.DT <= 0 {
+		return nil, fmt.Errorf("sim: DT must be positive, got %v", cfg.DT)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	g := sol.G
+	trees, err := buildPipelines(sol)
+	if err != nil {
+		return nil, err
+	}
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	numEdges := g.NumEdges()
+	capPerStep := make([]float64, numEdges)
+	for e := range capPerStep {
+		capPerStep[e] = g.Edges[e].Capacity * cfg.DT
+	}
+	load := make([]float64, numEdges)
+	factor := make([]float64, numEdges)
+	partial := make([][]float64, workers)
+	for w := range partial {
+		partial[w] = make([]float64, numEdges)
+	}
+
+	chunkRange := func(w int) (int, int) {
+		per := (len(trees) + workers - 1) / workers
+		lo := w * per
+		hi := lo + per
+		if hi > len(trees) {
+			hi = len(trees)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		return lo, hi
+	}
+
+	var wg sync.WaitGroup
+	for step := 0; step < cfg.Steps; step++ {
+		// Phase 1: sources emit; per-worker link demand from backlogs.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := partial[w]
+				for e := range buf {
+					buf[e] = 0
+				}
+				lo, hi := chunkRange(w)
+				for ti := lo; ti < hi; ti++ {
+					t := trees[ti]
+					t.pos[0] += t.rate * cfg.DT
+					for _, oe := range t.order {
+						backlog := t.pos[oe.parent] - t.pos[oe.child]
+						if backlog <= 0 {
+							continue
+						}
+						for _, u := range oe.use {
+							buf[u.edge] += u.count * backlog
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for e := range load {
+			load[e] = 0
+		}
+		for w := 0; w < workers; w++ {
+			buf := partial[w]
+			for e := range load {
+				load[e] += buf[e]
+			}
+		}
+		for e := range factor {
+			if load[e] <= capPerStep[e] || load[e] == 0 {
+				factor[e] = 1
+			} else {
+				factor[e] = capPerStep[e] / load[e]
+			}
+		}
+		// Phase 2: Jacobi advance — children move toward the parent's
+		// position of the *previous* phase, throttled by the bottleneck
+		// factor of their overlay hop's route.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := chunkRange(w)
+				for ti := lo; ti < hi; ti++ {
+					t := trees[ti]
+					copy(t.next, t.pos)
+					for _, oe := range t.order {
+						backlog := t.pos[oe.parent] - t.pos[oe.child]
+						if backlog <= 0 {
+							continue
+						}
+						f := 1.0
+						for _, u := range oe.use {
+							if factor[u.edge] < f {
+								f = factor[u.edge]
+							}
+						}
+						t.next[oe.child] = t.pos[oe.child] + backlog*f
+					}
+					t.pos, t.next = t.next, t.pos
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	return report(sol, trees, cfg), nil
+}
+
+// buildPipelines converts the solution's trees into pipeline states with
+// BFS-ordered overlay edges and member depths.
+func buildPipelines(sol *core.Solution) ([]*chunkTree, error) {
+	var trees []*chunkTree
+	for i, flows := range sol.Flows {
+		n := sol.Sessions[i].Size()
+		for _, tf := range flows {
+			if tf.Rate <= 0 {
+				continue
+			}
+			adj := make([][]int, n) // adjacency over member indices
+			routeOf := make(map[[2]int][]useEntry, len(tf.Tree.Pairs))
+			for k, p := range tf.Tree.Pairs {
+				adj[p[0]] = append(adj[p[0]], p[1])
+				adj[p[1]] = append(adj[p[1]], p[0])
+				var use []useEntry
+				for _, e := range tf.Tree.Routes[k].Edges {
+					use = append(use, useEntry{edge: e, count: 1})
+				}
+				routeOf[p] = use
+			}
+			ct := &chunkTree{
+				session: i,
+				rate:    tf.Rate,
+				pos:     make([]float64, n),
+				next:    make([]float64, n),
+				depth:   make([]int, n),
+			}
+			// BFS from the source (member 0) orients the tree.
+			seen := make([]bool, n)
+			seen[0] = true
+			queue := []int{0}
+			for head := 0; head < len(queue); head++ {
+				p := queue[head]
+				for _, c := range adj[p] {
+					if seen[c] {
+						continue
+					}
+					seen[c] = true
+					ct.depth[c] = ct.depth[p] + 1
+					key := [2]int{p, c}
+					if p > c {
+						key = [2]int{c, p}
+					}
+					ct.order = append(ct.order, chunkEdge{parent: p, child: c, use: routeOf[key]})
+					queue = append(queue, c)
+				}
+			}
+			if len(queue) != n {
+				return nil, fmt.Errorf("sim: tree of session %d does not span its members", i)
+			}
+			trees = append(trees, ct)
+		}
+	}
+	return trees, nil
+}
+
+func report(sol *core.Solution, trees []*chunkTree, cfg ChunkConfig) *ChunkReport {
+	k := len(sol.Sessions)
+	rep := &ChunkReport{
+		SourcePosition: make([]float64, k),
+		ReceiverRate:   make([]float64, k),
+		MaxDepth:       make([]int, k),
+		MaxLagUnits:    make([]float64, k),
+		Steps:          cfg.Steps,
+	}
+	duration := float64(cfg.Steps) * cfg.DT
+	for _, t := range trees {
+		rep.SourcePosition[t.session] += t.pos[0]
+		for m := 1; m < len(t.pos); m++ {
+			rep.ReceiverRate[t.session] += t.pos[m] / duration
+			if lag := t.pos[0] - t.pos[m]; lag > rep.MaxLagUnits[t.session] {
+				rep.MaxLagUnits[t.session] = lag
+			}
+			if t.depth[m] > rep.MaxDepth[t.session] {
+				rep.MaxDepth[t.session] = t.depth[m]
+			}
+		}
+	}
+	// Clip -0 noise.
+	for i := range rep.MaxLagUnits {
+		rep.MaxLagUnits[i] = math.Max(rep.MaxLagUnits[i], 0)
+	}
+	return rep
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"overcast/internal/core"
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/topology"
+)
+
+// pathSolution builds a single-tree session along a path with the given
+// rate.
+func pathSolution(t testing.TB, hops int, capacity, rate float64) *core.Solution {
+	t.Helper()
+	net, err := topology.Path(hops+1, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	// Session: source 0, receivers at every node (so overlay depth = hops).
+	members := make([]graph.NodeID, hops+1)
+	for i := range members {
+		members[i] = i
+	}
+	s, err := overlay.NewSession(0, members, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(g, []*overlay.Session{s}, core.RoutingIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := graph.NewLengths(g, 1)
+	tree, err := p.Oracles[0].MinTree(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Solution{G: g, Sessions: p.Sessions, Flows: [][]core.TreeFlow{{{Tree: tree, Rate: rate}}}}
+}
+
+func TestChunkConfigValidation(t *testing.T) {
+	sol := pathSolution(t, 2, 10, 5)
+	if _, err := RunChunks(sol, ChunkConfig{Steps: 0, DT: 1}); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	if _, err := RunChunks(sol, ChunkConfig{Steps: 1, DT: 0}); err == nil {
+		t.Error("DT=0 accepted")
+	}
+}
+
+func TestChunkPipelineDepthAndLag(t *testing.T) {
+	// 4-hop chain at rate 5, dt 0.1: steady-state lag of the deepest
+	// receiver is (depth-1)·rate·dt = 3·0.5 = 1.5 units; goodput matches
+	// the rate.
+	sol := pathSolution(t, 4, 10, 5)
+	rep, err := RunChunks(sol, ChunkConfig{Steps: 400, DT: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxDepth[0] != 4 {
+		t.Fatalf("depth %d, want 4", rep.MaxDepth[0])
+	}
+	wantLag := (4 - 1) * 5 * 0.1
+	if math.Abs(rep.MaxLagUnits[0]-wantLag) > 1e-6 {
+		t.Fatalf("lag %v, want %v", rep.MaxLagUnits[0], wantLag)
+	}
+	// Receiver goodput: 4 receivers each tracking rate 5, minus the
+	// pipeline fill (bounded warmup), so per-receiver >= 4.9 at 400 steps.
+	if rep.ReceiverRate[0] < 4*4.9 {
+		t.Fatalf("aggregate receiver rate %v too low", rep.ReceiverRate[0])
+	}
+	if rep.SourcePosition[0] != 5*400*0.1 {
+		t.Fatalf("source emitted %v", rep.SourcePosition[0])
+	}
+}
+
+func TestChunkOverloadThrottles(t *testing.T) {
+	// Rate 20 on a capacity-10 chain: receivers must advance at ~10.
+	sol := pathSolution(t, 3, 10, 20)
+	rep, err := RunChunks(sol, ChunkConfig{Steps: 300, DT: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perReceiver := rep.ReceiverRate[0] / 3
+	if perReceiver > 10+1e-6 {
+		t.Fatalf("receiver rate %v exceeds link capacity", perReceiver)
+	}
+	if perReceiver < 9 {
+		t.Fatalf("receiver rate %v far below capacity 10", perReceiver)
+	}
+	// The lag keeps growing under overload.
+	if rep.MaxLagUnits[0] < 100 {
+		t.Fatalf("overload lag %v should accumulate", rep.MaxLagUnits[0])
+	}
+}
+
+func TestChunkMatchesFluidOnFeasibleAllocation(t *testing.T) {
+	// A feasible MaxFlow allocation must reach receiver goodput equal to
+	// the allocated rates (up to the pipeline warmup).
+	_, sol := solved(t, 6, []int{5, 4})
+	steps := 2000
+	rep, err := RunChunks(sol, ChunkConfig{Steps: steps, DT: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sess := range sol.Sessions {
+		want := sol.SessionRate(i) * float64(sess.Receivers())
+		if rep.ReceiverRate[i] > want+1e-6 {
+			t.Fatalf("session %d goodput %v exceeds allocation %v", i, rep.ReceiverRate[i], want)
+		}
+		if rep.ReceiverRate[i] < want*0.95 {
+			t.Fatalf("session %d goodput %v below allocation %v", i, rep.ReceiverRate[i], want)
+		}
+	}
+}
+
+func TestChunkDeterministicAcrossWorkers(t *testing.T) {
+	_, sol := solved(t, 7, []int{5, 3})
+	var base *ChunkReport
+	for _, workers := range []int{1, 2, 4, 7} {
+		rep, err := RunChunks(sol, ChunkConfig{Steps: 120, DT: 0.1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = rep
+			continue
+		}
+		for i := range rep.ReceiverRate {
+			if math.Abs(rep.ReceiverRate[i]-base.ReceiverRate[i]) > 1e-9 {
+				t.Fatalf("workers=%d changed session %d goodput", workers, i)
+			}
+			if math.Abs(rep.MaxLagUnits[i]-base.MaxLagUnits[i]) > 1e-9 {
+				t.Fatalf("workers=%d changed session %d lag", workers, i)
+			}
+		}
+	}
+}
+
+func TestChunkStarTreeDepthOne(t *testing.T) {
+	// A star overlay (SplitStream stripe) has depth 1 for every receiver.
+	net, _ := topology.Complete(5, 10)
+	g := net.Graph
+	members := []graph.NodeID{0, 1, 2, 3, 4}
+	s, _ := overlay.NewSession(0, members, 1)
+	p, err := core.NewProblem(g, []*overlay.Session{s}, core.RoutingIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}
+	fixed := p.Oracles[0].(*overlay.FixedOracle)
+	tree := overlay.TreeFromPairs(fixed, pairs)
+	sol := &core.Solution{G: g, Sessions: p.Sessions, Flows: [][]core.TreeFlow{{{Tree: tree, Rate: 2}}}}
+	rep, err := RunChunks(sol, ChunkConfig{Steps: 100, DT: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxDepth[0] != 1 {
+		t.Fatalf("star depth %d, want 1", rep.MaxDepth[0])
+	}
+	// Depth-1 receivers track the source within the same step: zero lag at
+	// step boundaries.
+	if rep.MaxLagUnits[0] > 1e-9 {
+		t.Fatalf("star lag %v, want 0", rep.MaxLagUnits[0])
+	}
+}
+
+func BenchmarkChunkSimulate(b *testing.B) {
+	_, sol := solved(b, 8, []int{6, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunChunks(sol, ChunkConfig{Steps: 50, DT: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

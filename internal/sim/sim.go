@@ -1,0 +1,215 @@
+// Package sim is a concurrent fluid-flow dissemination simulator. The paper
+// evaluates its algorithms purely computationally; this package closes the
+// loop a real deployment would close: it takes a tree/rate allocation
+// (core.Solution) and actually pushes traffic through the physical network
+// step by step, with links enforcing their capacities, verifying that the
+// allocated session rates are deliverable (and measuring the collapse when
+// an allocation is infeasible).
+//
+// Model: time advances in steps of dt. In each step every tree offers
+// rate·dt units on all of its physical edges (n_e(t) times on edge e). Each
+// edge that is over-subscribed throttles proportionally; a tree's achieved
+// fraction for the step is the minimum factor over its edges (its pipeline
+// is only as fast as its slowest link — the same bottleneck rule the
+// algorithms use). Per-session offered and delivered volumes accumulate.
+//
+// Concurrency: per-step, tree demands and achieved fractions are computed
+// by a goroutine pool over sessions with per-worker partial link sums merged
+// deterministically — scheduling never changes results (tested).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"overcast/internal/core"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	Steps int     // number of time steps (>=1)
+	DT    float64 // step length in seconds (>0)
+	// Workers caps the goroutine pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Report summarizes a run.
+type Report struct {
+	// OfferedRate[i] is session i's configured aggregate sending rate
+	// (sum of its tree rates).
+	OfferedRate []float64
+	// DeliveredRate[i] is the measured aggregate delivery rate of session i
+	// after link contention.
+	DeliveredRate []float64
+	// OverallDelivered is sum_i (|S_i|-1)·DeliveredRate[i], comparable to
+	// Solution.OverallThroughput().
+	OverallDelivered float64
+	// PeakLinkUtilization is the maximum over steps and edges of
+	// offered-load/capacity (may exceed 1 for infeasible inputs).
+	PeakLinkUtilization float64
+	Steps               int
+}
+
+// treeRef indexes one (session, tree) pair for the scheduler.
+type treeRef struct {
+	session int
+	rate    float64
+	use     []useEntry
+}
+
+type useEntry struct {
+	edge  int
+	count float64
+}
+
+// Run simulates sol under cfg.
+func Run(sol *core.Solution, cfg Config) (*Report, error) {
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("sim: Steps must be >=1, got %d", cfg.Steps)
+	}
+	if cfg.DT <= 0 {
+		return nil, fmt.Errorf("sim: DT must be positive, got %v", cfg.DT)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	g := sol.G
+	var trees []treeRef
+	offered := make([]float64, len(sol.Sessions))
+	for i, flows := range sol.Flows {
+		for _, tf := range flows {
+			if tf.Rate <= 0 {
+				continue
+			}
+			ref := treeRef{session: i, rate: tf.Rate}
+			for _, u := range tf.Tree.Use() {
+				ref.use = append(ref.use, useEntry{edge: u.Edge, count: float64(u.Count)})
+			}
+			trees = append(trees, ref)
+			offered[i] += tf.Rate
+		}
+	}
+
+	numEdges := g.NumEdges()
+	capPerStep := make([]float64, numEdges)
+	for e := range capPerStep {
+		capPerStep[e] = g.Edges[e].Capacity * cfg.DT
+	}
+
+	// Per-worker partial sums avoid a mutex on the hot loop; merging in
+	// worker order keeps the result deterministic.
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partial := make([][]float64, workers)
+	for w := range partial {
+		partial[w] = make([]float64, numEdges)
+	}
+	load := make([]float64, numEdges)
+	factor := make([]float64, numEdges)
+	delivered := make([]float64, len(sol.Sessions))
+	peak := 0.0
+
+	chunk := func(w int) (lo, hi int) {
+		per := (len(trees) + workers - 1) / workers
+		lo = w * per
+		hi = lo + per
+		if hi > len(trees) {
+			hi = len(trees)
+		}
+		if lo > hi {
+			lo = hi
+		}
+		return
+	}
+
+	var wg sync.WaitGroup
+	for step := 0; step < cfg.Steps; step++ {
+		// Phase 1: accumulate offered load per edge.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := partial[w]
+				for e := range buf {
+					buf[e] = 0
+				}
+				lo, hi := chunk(w)
+				for _, tr := range trees[lo:hi] {
+					vol := tr.rate * cfg.DT
+					for _, u := range tr.use {
+						buf[u.edge] += u.count * vol
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for e := range load {
+			load[e] = 0
+		}
+		for w := 0; w < workers; w++ {
+			buf := partial[w]
+			for e := range load {
+				load[e] += buf[e]
+			}
+		}
+		// Phase 2: per-edge throttle factors.
+		for e := range factor {
+			if load[e] <= capPerStep[e] || load[e] == 0 {
+				factor[e] = 1
+			} else {
+				factor[e] = capPerStep[e] / load[e]
+			}
+			if capPerStep[e] > 0 {
+				if util := load[e] / capPerStep[e]; util > peak {
+					peak = util
+				}
+			}
+		}
+		// Phase 3: per-tree achieved volume (bottleneck factor), reduced
+		// into per-session delivery. Parallel with per-worker partials.
+		deliv := make([][]float64, workers)
+		for w := 0; w < workers; w++ {
+			deliv[w] = make([]float64, len(sol.Sessions))
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo, hi := chunk(w)
+				for _, tr := range trees[lo:hi] {
+					f := 1.0
+					for _, u := range tr.use {
+						if factor[u.edge] < f {
+							f = factor[u.edge]
+						}
+					}
+					deliv[w][tr.session] += tr.rate * cfg.DT * f
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			for i, v := range deliv[w] {
+				delivered[i] += v
+			}
+		}
+	}
+
+	rep := &Report{
+		OfferedRate:         offered,
+		DeliveredRate:       make([]float64, len(sol.Sessions)),
+		PeakLinkUtilization: peak,
+		Steps:               cfg.Steps,
+	}
+	total := float64(cfg.Steps) * cfg.DT
+	for i := range delivered {
+		rep.DeliveredRate[i] = delivered[i] / total
+		rep.OverallDelivered += float64(sol.Sessions[i].Receivers()) * rep.DeliveredRate[i]
+	}
+	return rep, nil
+}

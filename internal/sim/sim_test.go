@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"overcast/internal/core"
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+	"overcast/internal/topology"
+)
+
+func solved(t testing.TB, seed uint64, sizes []int) (*core.Problem, *core.Solution) {
+	t.Helper()
+	r := rng.New(seed)
+	net, err := topology.Waxman(topology.DefaultWaxman(40), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := r.Perm(40)
+	var sessions []*overlay.Session
+	off := 0
+	for i, sz := range sizes {
+		s, err := overlay.NewSession(i, perm[off:off+sz], 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+		off += sz
+	}
+	p, err := core.NewProblem(net.Graph, sessions, core.RoutingIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sol
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, sol := solved(t, 1, []int{3})
+	if _, err := Run(sol, Config{Steps: 0, DT: 1}); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	if _, err := Run(sol, Config{Steps: 1, DT: 0}); err == nil {
+		t.Error("DT=0 accepted")
+	}
+}
+
+func TestFeasibleAllocationDeliversInFull(t *testing.T) {
+	// A feasible solution must be delivered without loss: the simulator's
+	// measured rates equal the allocated rates, and no link exceeds its
+	// capacity.
+	p, sol := solved(t, 2, []int{5, 4})
+	rep, err := Run(sol, Config{Steps: 50, DT: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Sessions {
+		if math.Abs(rep.DeliveredRate[i]-rep.OfferedRate[i]) > 1e-9 {
+			t.Fatalf("session %d delivered %v of offered %v",
+				i, rep.DeliveredRate[i], rep.OfferedRate[i])
+		}
+		if math.Abs(rep.OfferedRate[i]-sol.SessionRate(i)) > 1e-9 {
+			t.Fatalf("offered rate mismatch for session %d", i)
+		}
+	}
+	if rep.PeakLinkUtilization > 1+1e-9 {
+		t.Fatalf("feasible allocation overloaded a link: %v", rep.PeakLinkUtilization)
+	}
+	if math.Abs(rep.OverallDelivered-sol.OverallThroughput()) > 1e-6 {
+		t.Fatalf("overall delivered %v != allocated %v", rep.OverallDelivered, sol.OverallThroughput())
+	}
+}
+
+func TestOverloadedAllocationIsThrottled(t *testing.T) {
+	// Doubling all rates makes the allocation infeasible: the simulator
+	// must observe loss and a peak utilization of ~2.
+	_, sol := solved(t, 3, []int{5, 4})
+	over := &core.Solution{G: sol.G, Sessions: sol.Sessions, Flows: make([][]core.TreeFlow, len(sol.Flows))}
+	for i, flows := range sol.Flows {
+		for _, tf := range flows {
+			over.Flows[i] = append(over.Flows[i], core.TreeFlow{Tree: tf.Tree, Rate: tf.Rate * 2})
+		}
+	}
+	rep, err := Run(over, Config{Steps: 20, DT: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := false
+	for i := range rep.OfferedRate {
+		if rep.DeliveredRate[i] < rep.OfferedRate[i]-1e-9 {
+			lost = true
+		}
+		if rep.DeliveredRate[i] > rep.OfferedRate[i]+1e-9 {
+			t.Fatalf("delivered more than offered for session %d", i)
+		}
+	}
+	if !lost {
+		t.Fatal("no loss observed despite 2x overload")
+	}
+	if rep.PeakLinkUtilization < 1.5 {
+		t.Fatalf("peak utilization %v, expected ~2", rep.PeakLinkUtilization)
+	}
+}
+
+func TestBottleneckThrottleIsExact(t *testing.T) {
+	// Hand-built scenario: path 0-1-2 with capacity 10; a single-tree
+	// session {0,2} sending at 15 must deliver exactly 10.
+	net, _ := topology.Path(3, 10)
+	g := net.Graph
+	s, _ := overlay.NewSession(0, []graph.NodeID{0, 2}, 1)
+	p, err := core.NewProblem(g, []*overlay.Session{s}, core.RoutingIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := graph.NewLengths(g, 1)
+	tree, err := p.Oracles[0].MinTree(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &core.Solution{G: g, Sessions: p.Sessions, Flows: [][]core.TreeFlow{{{Tree: tree, Rate: 15}}}}
+	rep, err := Run(sol, Config{Steps: 10, DT: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.DeliveredRate[0]-10) > 1e-9 {
+		t.Fatalf("delivered %v, want 10", rep.DeliveredRate[0])
+	}
+	if math.Abs(rep.PeakLinkUtilization-1.5) > 1e-9 {
+		t.Fatalf("peak %v, want 1.5", rep.PeakLinkUtilization)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	_, sol := solved(t, 4, []int{6, 3})
+	var base *Report
+	for _, workers := range []int{1, 2, 4, 8} {
+		rep, err := Run(sol, Config{Steps: 25, DT: 0.2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = rep
+			continue
+		}
+		for i := range rep.DeliveredRate {
+			if math.Abs(rep.DeliveredRate[i]-base.DeliveredRate[i]) > 1e-9 {
+				t.Fatalf("workers=%d changed session %d delivery: %v vs %v",
+					workers, i, rep.DeliveredRate[i], base.DeliveredRate[i])
+			}
+		}
+		if math.Abs(rep.OverallDelivered-base.OverallDelivered) > 1e-9 {
+			t.Fatalf("workers=%d changed overall delivery", workers)
+		}
+	}
+}
+
+func TestEmptySolutionRuns(t *testing.T) {
+	net, _ := topology.Path(3, 10)
+	s, _ := overlay.NewSession(0, []graph.NodeID{0, 2}, 1)
+	sol := &core.Solution{G: net.Graph, Sessions: []*overlay.Session{s}, Flows: make([][]core.TreeFlow, 1)}
+	rep, err := Run(sol, Config{Steps: 5, DT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeliveredRate[0] != 0 || rep.OverallDelivered != 0 {
+		t.Fatal("empty solution delivered traffic")
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	_, sol := solved(b, 5, []int{7, 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sol, Config{Steps: 20, DT: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

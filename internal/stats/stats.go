@@ -1,0 +1,231 @@
+// Package stats computes the distribution summaries the paper's figures
+// plot: accumulative tree-rate distributions (Figs. 2/3/7/8/17),
+// link-utilization distributions (Figs. 4/9/14), fairness indices, and
+// simple surface grids for the Sec. VI session-size sweeps.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a distribution curve.
+type Point struct{ X, Y float64 }
+
+// AccumulativeRateCDF converts a set of tree rates into the paper's
+// "accumulative rate distribution versus normalized tree rank" curve: rates
+// are sorted descending; point i is (rank fraction, fraction of total rate
+// carried by the top i trees). An empty input yields an empty curve.
+func AccumulativeRateCDF(rates []float64) []Point {
+	if len(rates) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), rates...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	total := 0.0
+	for _, r := range sorted {
+		total += r
+	}
+	if total <= 0 {
+		return nil
+	}
+	out := make([]Point, len(sorted))
+	cum := 0.0
+	for i, r := range sorted {
+		cum += r
+		out[i] = Point{X: float64(i+1) / float64(len(sorted)), Y: cum / total}
+	}
+	return out
+}
+
+// TopShareFraction returns the smallest fraction of trees (by rank) that
+// carries at least `share` of the total rate — e.g. the paper's observation
+// that 90% of throughput concentrates in <10% of trees reads
+// TopShareFraction(rates, 0.9) < 0.1.
+func TopShareFraction(rates []float64, share float64) float64 {
+	curve := AccumulativeRateCDF(rates)
+	for _, p := range curve {
+		if p.Y >= share-1e-12 {
+			return p.X
+		}
+	}
+	if len(curve) == 0 {
+		return 1
+	}
+	return 1
+}
+
+// UtilizationCDF converts per-edge utilization ratios into the paper's
+// "utilization ratio distribution versus normalized edge rank" curve:
+// utilizations sorted descending, x = rank fraction, y = utilization.
+func UtilizationCDF(utils []float64) []Point {
+	if len(utils) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), utils...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	out := make([]Point, len(sorted))
+	for i, u := range sorted {
+		out[i] = Point{X: float64(i+1) / float64(len(sorted)), Y: u}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) in (0,1]; 1 means
+// perfectly equal. Empty or all-zero input returns 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum, sumsq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Gini returns the Gini coefficient in [0,1); 0 means perfectly equal. It
+// measures the asymmetry of the tree-rate distribution.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, weighted float64
+	for i, x := range sorted {
+		cum += x
+		weighted += float64(i+1) * x
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// Quantile returns the q-quantile (0<=q<=1) by linear interpolation; NaN for
+// empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Surface is a 2-D grid of values indexed by (row, col) parameter values,
+// used for the Sec. VI surfaces (sessions x session-size).
+type Surface struct {
+	RowLabel, ColLabel string
+	Rows, Cols         []int       // parameter values
+	Z                  [][]float64 // Z[r][c]
+}
+
+// NewSurface allocates a zeroed surface over the given parameter axes.
+func NewSurface(rowLabel string, rows []int, colLabel string, cols []int) *Surface {
+	z := make([][]float64, len(rows))
+	for i := range z {
+		z[i] = make([]float64, len(cols))
+	}
+	return &Surface{RowLabel: rowLabel, ColLabel: colLabel, Rows: rows, Cols: cols, Z: z}
+}
+
+// Set stores a value by axis values (not indices). Unknown axis values
+// panic, which indicates harness misconfiguration.
+func (s *Surface) Set(row, col int, v float64) {
+	s.Z[s.rowIdx(row)][s.colIdx(col)] = v
+}
+
+// At reads a value by axis values.
+func (s *Surface) At(row, col int) float64 {
+	return s.Z[s.rowIdx(row)][s.colIdx(col)]
+}
+
+func (s *Surface) rowIdx(row int) int {
+	for i, r := range s.Rows {
+		if r == row {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown row value %d", row))
+}
+
+func (s *Surface) colIdx(col int) int {
+	for i, c := range s.Cols {
+		if c == col {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("stats: unknown col value %d", col))
+}
+
+// Render pretty-prints the surface as an aligned table.
+func (s *Surface) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s", s.RowLabel+"\\"+s.ColLabel)
+	for _, c := range s.Cols {
+		fmt.Fprintf(&sb, "%12d", c)
+	}
+	sb.WriteByte('\n')
+	for i, r := range s.Rows {
+		fmt.Fprintf(&sb, "%-12d", r)
+		for j := range s.Cols {
+			fmt.Fprintf(&sb, "%12.2f", s.Z[i][j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderCurve pretty-prints a distribution curve, sampling at most maxPts
+// evenly spaced points.
+func RenderCurve(curve []Point, maxPts int) string {
+	if len(curve) == 0 {
+		return "(empty)\n"
+	}
+	step := 1
+	if maxPts > 0 && len(curve) > maxPts {
+		step = (len(curve) + maxPts - 1) / maxPts
+	}
+	var sb strings.Builder
+	for i := 0; i < len(curve); i += step {
+		fmt.Fprintf(&sb, "%.4f\t%.4f\n", curve[i].X, curve[i].Y)
+	}
+	last := curve[len(curve)-1]
+	if (len(curve)-1)%step != 0 {
+		fmt.Fprintf(&sb, "%.4f\t%.4f\n", last.X, last.Y)
+	}
+	return sb.String()
+}

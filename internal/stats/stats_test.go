@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/rng"
+)
+
+func TestAccumulativeRateCDF(t *testing.T) {
+	curve := AccumulativeRateCDF([]float64{1, 3, 6})
+	if len(curve) != 3 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	// Sorted descending: 6,3,1 of total 10.
+	want := []Point{{1.0 / 3, 0.6}, {2.0 / 3, 0.9}, {1, 1}}
+	for i, p := range curve {
+		if math.Abs(p.X-want[i].X) > 1e-12 || math.Abs(p.Y-want[i].Y) > 1e-12 {
+			t.Fatalf("point %d = %v, want %v", i, p, want[i])
+		}
+	}
+	if AccumulativeRateCDF(nil) != nil {
+		t.Fatal("empty input should give nil")
+	}
+	if AccumulativeRateCDF([]float64{0, 0}) != nil {
+		t.Fatal("zero-total input should give nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(30)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = r.Float64() * 10
+		}
+		curve := AccumulativeRateCDF(rates)
+		prevX, prevY := 0.0, 0.0
+		for _, p := range curve {
+			if p.X < prevX || p.Y < prevY-1e-12 {
+				return false
+			}
+			prevX, prevY = p.X, p.Y
+		}
+		return len(curve) == 0 || math.Abs(curve[len(curve)-1].Y-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopShareFraction(t *testing.T) {
+	// One dominant tree: 90 of 100 in the first of 10 trees.
+	rates := []float64{90, 2, 1, 1, 1, 1, 1, 1, 1, 1}
+	if got := TopShareFraction(rates, 0.9); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("TopShareFraction = %v, want 0.1", got)
+	}
+	// Uniform rates: need 90% of trees for 90% of rate.
+	uniform := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	if got := TopShareFraction(uniform, 0.9); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("uniform TopShareFraction = %v, want 0.9", got)
+	}
+	if got := TopShareFraction(nil, 0.5); got != 1 {
+		t.Fatalf("empty TopShareFraction = %v", got)
+	}
+}
+
+func TestUtilizationCDF(t *testing.T) {
+	curve := UtilizationCDF([]float64{0.2, 1.0, 0.5})
+	if len(curve) != 3 || curve[0].Y != 1.0 || curve[2].Y != 0.2 {
+		t.Fatalf("curve wrong: %v", curve)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Y > curve[i-1].Y {
+			t.Fatal("utilization CDF not descending")
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal Jain = %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("concentrated Jain = %v", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0}) != 0 {
+		t.Fatal("degenerate Jain")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1, 1}); math.Abs(got) > 1e-12 {
+		t.Fatalf("equal Gini = %v", got)
+	}
+	asym := Gini([]float64{0, 0, 0, 10})
+	if asym < 0.7 {
+		t.Fatalf("asymmetric Gini = %v, want high", asym)
+	}
+	if Gini(nil) != 0 {
+		t.Fatal("empty Gini")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median %v", got)
+	}
+	if got := Quantile(xs, 0.25); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("q25 %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 5 {
+		t.Fatal("clamping wrong")
+	}
+}
+
+func TestSurface(t *testing.T) {
+	s := NewSurface("sessions", []int{1, 2}, "size", []int{10, 20, 30})
+	s.Set(2, 20, 7.5)
+	if got := s.At(2, 20); got != 7.5 {
+		t.Fatalf("At = %v", got)
+	}
+	if got := s.At(1, 10); got != 0 {
+		t.Fatalf("zero cell = %v", got)
+	}
+	out := s.Render()
+	if out == "" || len(out) < 10 {
+		t.Fatal("render empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown axis value did not panic")
+		}
+	}()
+	s.Set(9, 10, 1)
+}
+
+func TestRenderCurve(t *testing.T) {
+	curve := AccumulativeRateCDF([]float64{5, 3, 2, 1, 1})
+	full := RenderCurve(curve, 0)
+	if full == "" {
+		t.Fatal("empty render")
+	}
+	sampled := RenderCurve(curve, 2)
+	if len(sampled) >= len(full) {
+		t.Fatal("sampling did not shrink output")
+	}
+	if RenderCurve(nil, 5) != "(empty)\n" {
+		t.Fatal("empty curve render wrong")
+	}
+}

@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"fmt"
+
+	"overcast/internal/graph"
+)
+
+// The deterministic topologies below are used by unit tests, baselines and
+// examples where an analytically understood network is more useful than a
+// random one.
+
+// Ring returns an n-cycle with uniform capacity.
+func Ring(n int, capacity float64) (*Network, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs n>=3, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if err := b.AddEdge(v, (v+1)%n, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return &Network{Graph: b.Build(), Name: fmt.Sprintf("ring(%d)", n)}, nil
+}
+
+// Star returns a star with node 0 at the center and n-1 leaves.
+func Star(n int, capacity float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs n>=2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(0, v, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return &Network{Graph: b.Build(), Name: fmt.Sprintf("star(%d)", n)}, nil
+}
+
+// Grid returns a rows x cols 4-neighbour mesh.
+func Grid(rows, cols int, capacity float64) (*Network, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: grid needs positive dims, got %dx%d", rows, cols)
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := b.AddEdge(id(r, c), id(r, c+1), capacity); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := b.AddEdge(id(r, c), id(r+1, c), capacity); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return &Network{Graph: b.Build(), Name: fmt.Sprintf("grid(%dx%d)", rows, cols)}, nil
+}
+
+// Complete returns the complete graph K_n with uniform capacity.
+func Complete(n int, capacity float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: complete needs n>=2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := b.AddEdge(u, v, capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Network{Graph: b.Build(), Name: fmt.Sprintf("k(%d)", n)}, nil
+}
+
+// Dumbbell returns two complete clusters of size k joined by a single
+// bottleneck link of capacity bottleneck; intra-cluster links have capacity
+// capacity. It is the canonical topology for exercising link correlation:
+// every overlay path between the clusters shares the bottleneck.
+func Dumbbell(k int, capacity, bottleneck float64) (*Network, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: dumbbell needs cluster size >=2, got %d", k)
+	}
+	b := graph.NewBuilder(2 * k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			if err := b.AddEdge(u, v, capacity); err != nil {
+				return nil, err
+			}
+			if err := b.AddEdge(k+u, k+v, capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := b.AddEdge(0, k, bottleneck); err != nil {
+		return nil, err
+	}
+	return &Network{Graph: b.Build(), Name: fmt.Sprintf("dumbbell(%d)", k)}, nil
+}
+
+// Path returns a path graph on n nodes.
+func Path(n int, capacity float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: path needs n>=2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		if err := b.AddEdge(v, v+1, capacity); err != nil {
+			return nil, err
+		}
+	}
+	return &Network{Graph: b.Build(), Name: fmt.Sprintf("path(%d)", n)}, nil
+}

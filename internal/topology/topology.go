@@ -1,0 +1,298 @@
+// Package topology generates the physical networks the paper evaluates on.
+//
+// The paper uses the Boston BRITE generator: a flat 100-node router-level
+// Waxman topology for the Sec. III/IV/V experiments and a two-level topology
+// (10-node AS-level Waxman, each AS expanded to a 100-node router-level
+// Waxman) for the Sec. VI evaluation, with uniform link capacity 100. BRITE
+// itself is a closed external tool, so this package reimplements its models
+// from the BRITE documentation: nodes are placed uniformly at random on an
+// integer plane, and the graph grows incrementally, each new node attaching
+// to m existing nodes chosen by the Waxman probability
+//
+//	P(u,v) = alpha * exp(-d(u,v) / (beta * L))
+//
+// where d is Euclidean distance and L is the maximum possible distance.
+// Incremental growth with m >= 1 guarantees connectivity, matching BRITE's
+// default "incremental" mode. A Barabási–Albert preferential-attachment
+// model and several deterministic synthetic topologies (ring, grid, star,
+// dumbbell, complete) are provided for baselines and tests.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"overcast/internal/graph"
+	"overcast/internal/rng"
+)
+
+// Point is a node position on the generation plane, used by distance-aware
+// models (Waxman) and kept around for visualization/export.
+type Point struct{ X, Y float64 }
+
+// Network couples a physical graph with generation metadata.
+type Network struct {
+	Graph *graph.Graph
+	// Pos[v] is the plane position of node v (zero value for models that do
+	// not place nodes).
+	Pos []Point
+	// ASOf[v] is the AS index of node v for two-level topologies, or nil for
+	// flat ones.
+	ASOf []int
+	// Name describes the generating model, for logs and reports.
+	Name string
+}
+
+// WaxmanConfig parametrizes the BRITE-style incremental Waxman model.
+type WaxmanConfig struct {
+	N        int     // number of nodes, >= 1
+	M        int     // edges added per new node (BRITE default 2)
+	Alpha    float64 // Waxman alpha (BRITE default 0.15)
+	Beta     float64 // Waxman beta (BRITE default 0.2)
+	Capacity float64 // uniform link capacity (paper uses 100)
+	PlaneKM  float64 // side length of the placement plane (default 1000)
+}
+
+// DefaultWaxman returns the configuration used by the paper's Sec. III
+// experiments: n nodes, m = 2, BRITE default alpha/beta, capacity 100.
+func DefaultWaxman(n int) WaxmanConfig {
+	return WaxmanConfig{N: n, M: 2, Alpha: 0.15, Beta: 0.2, Capacity: 100, PlaneKM: 1000}
+}
+
+func (c *WaxmanConfig) normalize() error {
+	if c.N < 1 {
+		return fmt.Errorf("topology: Waxman N=%d < 1", c.N)
+	}
+	if c.M < 1 {
+		c.M = 2
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.15
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.2
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 100
+	}
+	if c.PlaneKM <= 0 {
+		c.PlaneKM = 1000
+	}
+	return nil
+}
+
+// Waxman generates a connected BRITE-style incremental Waxman topology.
+func Waxman(cfg WaxmanConfig, r *rng.RNG) (*Network, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	pos := make([]Point, cfg.N)
+	for i := range pos {
+		pos[i] = Point{X: r.Float64() * cfg.PlaneKM, Y: r.Float64() * cfg.PlaneKM}
+	}
+	maxDist := cfg.PlaneKM * math.Sqrt2
+	b := graph.NewBuilder(cfg.N)
+	weights := make([]float64, 0, cfg.N)
+	for v := 1; v < cfg.N; v++ {
+		// Connect node v to up to M existing nodes, sampled by Waxman
+		// probability, always at least one to preserve connectivity.
+		degree := cfg.M
+		if v < cfg.M {
+			degree = v
+		}
+		for k := 0; k < degree; k++ {
+			weights = weights[:0]
+			for u := 0; u < v; u++ {
+				if b.HasEdge(u, v) {
+					weights = append(weights, 0)
+					continue
+				}
+				d := dist(pos[u], pos[v])
+				weights = append(weights, cfg.Alpha*math.Exp(-d/(cfg.Beta*maxDist)))
+			}
+			u := r.WeightedChoice(weights)
+			if b.HasEdge(u, v) {
+				// All candidates exhausted (weights all zero fell back to
+				// uniform); skip the remaining stubs for this node.
+				break
+			}
+			if err := b.AddEdge(u, v, cfg.Capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := b.Build()
+	return &Network{Graph: g, Pos: pos, Name: fmt.Sprintf("waxman(n=%d,m=%d)", cfg.N, cfg.M)}, nil
+}
+
+// BarabasiAlbert generates a connected preferential-attachment topology with
+// n nodes and m edges per new node, uniform capacity.
+func BarabasiAlbert(n, m int, capacity float64, r *rng.RNG) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: BA n=%d < 1", n)
+	}
+	if m < 1 {
+		m = 2
+	}
+	if capacity <= 0 {
+		capacity = 100
+	}
+	b := graph.NewBuilder(n)
+	deg := make([]float64, n)
+	for v := 1; v < n; v++ {
+		k := m
+		if v < m {
+			k = v
+		}
+		for added := 0; added < k; added++ {
+			// Preferential attachment: weight = degree + 1 (the +1 lets
+			// isolated early nodes be chosen).
+			weights := make([]float64, v)
+			for u := 0; u < v; u++ {
+				if b.HasEdge(u, v) {
+					weights[u] = 0
+				} else {
+					weights[u] = deg[u] + 1
+				}
+			}
+			u := r.WeightedChoice(weights)
+			if b.HasEdge(u, v) {
+				break
+			}
+			if err := b.AddEdge(u, v, capacity); err != nil {
+				return nil, err
+			}
+			deg[u]++
+			deg[v]++
+		}
+	}
+	return &Network{Graph: b.Build(), Name: fmt.Sprintf("ba(n=%d,m=%d)", n, m)}, nil
+}
+
+// TwoLevelConfig parametrizes the Sec. VI evaluation topology: an AS-level
+// Waxman graph whose every node is expanded into a router-level Waxman
+// graph, with each AS-level edge realized as a link between random border
+// routers of the two ASes.
+type TwoLevelConfig struct {
+	ASes          int // number of ASes (paper: 10)
+	RoutersPerAS  int // routers per AS (paper: 100)
+	MAS           int // AS-level edges per new AS
+	MRouter       int // router-level edges per new router
+	Capacity      float64
+	InterASDegree int // number of physical links realizing each AS-level edge (default 1)
+}
+
+// DefaultTwoLevel returns the paper's Sec. VI setting scaled by the given
+// per-AS router count (the paper uses 10 ASes x 100 routers).
+func DefaultTwoLevel(ases, routersPerAS int) TwoLevelConfig {
+	return TwoLevelConfig{
+		ASes: ases, RoutersPerAS: routersPerAS,
+		MAS: 2, MRouter: 2, Capacity: 100, InterASDegree: 1,
+	}
+}
+
+// TwoLevel generates a connected two-level AS/router topology.
+func TwoLevel(cfg TwoLevelConfig, r *rng.RNG) (*Network, error) {
+	if cfg.ASes < 1 || cfg.RoutersPerAS < 1 {
+		return nil, fmt.Errorf("topology: two-level needs >=1 AS and router, got %d/%d", cfg.ASes, cfg.RoutersPerAS)
+	}
+	if cfg.MAS < 1 {
+		cfg.MAS = 2
+	}
+	if cfg.MRouter < 1 {
+		cfg.MRouter = 2
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 100
+	}
+	if cfg.InterASDegree < 1 {
+		cfg.InterASDegree = 1
+	}
+
+	// AS-level skeleton.
+	asNet, err := Waxman(WaxmanConfig{
+		N: cfg.ASes, M: cfg.MAS, Capacity: cfg.Capacity,
+	}, r.Split(0))
+	if err != nil {
+		return nil, err
+	}
+
+	total := cfg.ASes * cfg.RoutersPerAS
+	b := graph.NewBuilder(total)
+	pos := make([]Point, total)
+	asOf := make([]int, total)
+
+	// Router-level graph inside each AS, offset into the global id space.
+	for a := 0; a < cfg.ASes; a++ {
+		sub, err := Waxman(WaxmanConfig{
+			N: cfg.RoutersPerAS, M: cfg.MRouter, Capacity: cfg.Capacity,
+		}, r.Split(uint64(a)+1))
+		if err != nil {
+			return nil, err
+		}
+		off := a * cfg.RoutersPerAS
+		for v := 0; v < cfg.RoutersPerAS; v++ {
+			// Shift each AS's plane so positions stay meaningful.
+			pos[off+v] = Point{
+				X: sub.Pos[v].X + asNet.Pos[a].X*float64(cfg.RoutersPerAS),
+				Y: sub.Pos[v].Y + asNet.Pos[a].Y*float64(cfg.RoutersPerAS),
+			}
+			asOf[off+v] = a
+		}
+		for _, e := range sub.Graph.Edges {
+			if err := b.AddEdge(off+e.U, off+e.V, e.Capacity); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Realize each AS-level edge as InterASDegree border-router links.
+	borderRNG := r.Split(1 << 32)
+	for _, ase := range asNet.Graph.Edges {
+		for k := 0; k < cfg.InterASDegree; k++ {
+			for attempt := 0; ; attempt++ {
+				u := ase.U*cfg.RoutersPerAS + borderRNG.Intn(cfg.RoutersPerAS)
+				v := ase.V*cfg.RoutersPerAS + borderRNG.Intn(cfg.RoutersPerAS)
+				if !b.HasEdge(u, v) {
+					if err := b.AddEdge(u, v, cfg.Capacity); err != nil {
+						return nil, err
+					}
+					break
+				}
+				if attempt > 100 {
+					break // ASes too small to host more distinct links
+				}
+			}
+		}
+	}
+
+	return &Network{
+		Graph: b.Build(), Pos: pos, ASOf: asOf,
+		Name: fmt.Sprintf("twolevel(as=%d,routers=%d)", cfg.ASes, cfg.RoutersPerAS),
+	}, nil
+}
+
+func dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// LinkDelays returns per-edge Euclidean lengths — BRITE's propagation-delay
+// metric — for use as static routing weights ("shortest-path routing" in the
+// paper runs over these). Networks without positions (synthetic topologies)
+// get unit weights. A tiny floor keeps coincident nodes from producing
+// zero-weight edges.
+func (n *Network) LinkDelays() graph.Lengths {
+	w := graph.NewLengths(n.Graph, 1)
+	if len(n.Pos) != n.Graph.NumNodes() {
+		return w
+	}
+	for e, edge := range n.Graph.Edges {
+		d := dist(n.Pos[edge.U], n.Pos[edge.V])
+		if d < 1e-9 {
+			d = 1e-9
+		}
+		w[e] = d
+	}
+	return w
+}

@@ -1,0 +1,224 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/rng"
+)
+
+func TestWaxmanConnectedAndSized(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 50, 100} {
+		net, err := Waxman(DefaultWaxman(n), rng.New(42))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if net.Graph.NumNodes() != n {
+			t.Fatalf("n=%d: got %d nodes", n, net.Graph.NumNodes())
+		}
+		if !net.Graph.Connected() {
+			t.Fatalf("n=%d: disconnected Waxman graph", n)
+		}
+		for _, e := range net.Graph.Edges {
+			if e.Capacity != 100 {
+				t.Fatalf("capacity %v != 100", e.Capacity)
+			}
+		}
+	}
+}
+
+func TestWaxmanDeterministicPerSeed(t *testing.T) {
+	a, err := Waxman(DefaultWaxman(60), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Waxman(DefaultWaxman(60), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Graph.Edges {
+		if a.Graph.Edges[i] != b.Graph.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c, err := Waxman(DefaultWaxman(60), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumEdges() == a.Graph.NumEdges() {
+		same := true
+		for i := range a.Graph.Edges {
+			if a.Graph.Edges[i] != c.Graph.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestWaxmanEdgeBudget(t *testing.T) {
+	// Incremental mode with m=2 adds at most 2 edges per node.
+	net, err := Waxman(DefaultWaxman(100), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := net.Graph.NumEdges(); e > 2*100 || e < 99 {
+		t.Fatalf("unexpected edge count %d", e)
+	}
+}
+
+func TestWaxmanRejectsBadN(t *testing.T) {
+	if _, err := Waxman(WaxmanConfig{N: 0}, rng.New(1)); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	net, err := BarabasiAlbert(80, 2, 10, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Graph.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	// Preferential attachment should produce at least one hub whose degree
+	// is well above m.
+	maxDeg := 0
+	for v := 0; v < net.Graph.NumNodes(); v++ {
+		if d := net.Graph.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 6 {
+		t.Fatalf("no hub emerged, max degree %d", maxDeg)
+	}
+	if _, err := BarabasiAlbert(0, 2, 10, rng.New(1)); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestTwoLevel(t *testing.T) {
+	cfg := DefaultTwoLevel(4, 10)
+	net, err := TwoLevel(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph.NumNodes() != 40 {
+		t.Fatalf("node count %d != 40", net.Graph.NumNodes())
+	}
+	if !net.Graph.Connected() {
+		t.Fatal("two-level graph disconnected")
+	}
+	if len(net.ASOf) != 40 {
+		t.Fatal("ASOf missing")
+	}
+	for v, a := range net.ASOf {
+		if want := v / 10; a != want {
+			t.Fatalf("ASOf[%d]=%d want %d", v, a, want)
+		}
+	}
+	// There must exist at least one inter-AS edge per AS-level edge.
+	inter := 0
+	for _, e := range net.Graph.Edges {
+		if net.ASOf[e.U] != net.ASOf[e.V] {
+			inter++
+		}
+	}
+	if inter < 3 {
+		t.Fatalf("too few inter-AS links: %d", inter)
+	}
+}
+
+func TestTwoLevelRejectsBadConfig(t *testing.T) {
+	if _, err := TwoLevel(TwoLevelConfig{ASes: 0, RoutersPerAS: 5}, rng.New(1)); err == nil {
+		t.Fatal("0 ASes accepted")
+	}
+}
+
+func TestSyntheticTopologies(t *testing.T) {
+	ring, err := Ring(6, 10)
+	if err != nil || ring.Graph.NumEdges() != 6 || !ring.Graph.Connected() {
+		t.Fatalf("ring: %v edges=%d", err, ring.Graph.NumEdges())
+	}
+	star, err := Star(5, 10)
+	if err != nil || star.Graph.NumEdges() != 4 || star.Graph.Degree(0) != 4 {
+		t.Fatalf("star wrong: %v", err)
+	}
+	grid, err := Grid(3, 4, 10)
+	if err != nil || grid.Graph.NumNodes() != 12 || grid.Graph.NumEdges() != 3*3+2*4 {
+		t.Fatalf("grid wrong: %v edges=%d", err, grid.Graph.NumEdges())
+	}
+	k5, err := Complete(5, 10)
+	if err != nil || k5.Graph.NumEdges() != 10 {
+		t.Fatalf("complete wrong: %v", err)
+	}
+	db, err := Dumbbell(3, 10, 1)
+	if err != nil || db.Graph.NumNodes() != 6 || db.Graph.NumEdges() != 2*3+1 {
+		t.Fatalf("dumbbell wrong: %v", err)
+	}
+	if id, ok := db.Graph.EdgeBetween(0, 3); !ok || db.Graph.Edges[id].Capacity != 1 {
+		t.Fatal("dumbbell bottleneck missing")
+	}
+	p, err := Path(4, 10)
+	if err != nil || p.Graph.NumEdges() != 3 {
+		t.Fatalf("path wrong: %v", err)
+	}
+}
+
+func TestSyntheticRejectBadSizes(t *testing.T) {
+	if _, err := Ring(2, 1); err == nil {
+		t.Error("ring(2) accepted")
+	}
+	if _, err := Star(1, 1); err == nil {
+		t.Error("star(1) accepted")
+	}
+	if _, err := Grid(0, 3, 1); err == nil {
+		t.Error("grid(0,3) accepted")
+	}
+	if _, err := Complete(1, 1); err == nil {
+		t.Error("complete(1) accepted")
+	}
+	if _, err := Dumbbell(1, 1, 1); err == nil {
+		t.Error("dumbbell(1) accepted")
+	}
+	if _, err := Path(1, 1); err == nil {
+		t.Error("path(1) accepted")
+	}
+}
+
+func TestWaxmanAlwaysConnectedProperty(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		net, err := Waxman(DefaultWaxman(n), rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return net.Graph.Connected() && net.Graph.NumNodes() == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWaxman100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Waxman(DefaultWaxman(100), rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoLevel(b *testing.B) {
+	cfg := DefaultTwoLevel(10, 30)
+	for i := 0; i < b.N; i++ {
+		if _, err := TwoLevel(cfg, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+// Package treepack solves the "packing spanning trees" problem of Sec. II-C:
+// given a session's overlay graph G_i with a traffic budget f(v_m,v_n) on
+// every overlay edge, decompose it into spanning trees whose aggregate rate
+// is maximal subject to the per-edge budgets.
+//
+// The Tutte (1961) / Nash-Williams (1961) min-max theorem states that the
+// maximum fractional packing value equals
+//
+//	min over partitions P of V:  f(P) / (|P| - 1)
+//
+// where f(P) is the total weight of edges crossing the partition. This
+// package provides
+//
+//   - Strength: the exact minimum, by enumerating set partitions (practical
+//     for n <= 10; the paper's sessions in the Sec. III experiments have at
+//     most 7 members, i.e. Bell(7) = 877 partitions);
+//   - PackFractional: a Garg–Könemann-style FPTAS whose oracle is a minimum
+//     spanning tree, usable at any n;
+//   - PackGreedy: a simple integral water-filling baseline that repeatedly
+//     saturates the maximum-bottleneck spanning tree (the Fig. 1 style
+//     decomposition).
+package treepack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Instance is a weighted complete-graph packing instance on n vertices.
+// W[i][j] is the traffic budget of overlay edge (i,j); 0 means the edge is
+// absent.
+type Instance struct {
+	N int
+	W [][]float64
+}
+
+// NewInstance creates an instance with all weights zero.
+func NewInstance(n int) (*Instance, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("treepack: need n>=2, got %d", n)
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return &Instance{N: n, W: w}, nil
+}
+
+// SetWeight sets the budget of edge (i,j) symmetrically.
+func (ins *Instance) SetWeight(i, j int, w float64) error {
+	if i < 0 || i >= ins.N || j < 0 || j >= ins.N || i == j {
+		return fmt.Errorf("treepack: bad edge (%d,%d)", i, j)
+	}
+	if w < 0 {
+		return fmt.Errorf("treepack: negative weight %v", w)
+	}
+	ins.W[i][j] = w
+	ins.W[j][i] = w
+	return nil
+}
+
+// TotalWeight returns the sum of all edge budgets.
+func (ins *Instance) TotalWeight() float64 {
+	total := 0.0
+	for i := 0; i < ins.N; i++ {
+		for j := i + 1; j < ins.N; j++ {
+			total += ins.W[i][j]
+		}
+	}
+	return total
+}
+
+// connectedOnPositive reports whether the positive-weight edges connect all
+// vertices.
+func (ins *Instance) connectedOnPositive() bool {
+	seen := make([]bool, ins.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for u := 0; u < ins.N; u++ {
+			if !seen[u] && ins.W[v][u] > 0 {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == ins.N
+}
+
+// Strength returns the exact Tutte/Nash-Williams value
+// min_P f(P)/(|P|-1) together with a minimizing partition (as vertex-index
+// blocks). Partitions are enumerated via restricted-growth strings, so the
+// call is limited to n <= maxN (Bell numbers grow fast: Bell(10) = 115975).
+func (ins *Instance) Strength(maxN int) (float64, [][]int, error) {
+	if ins.N > maxN {
+		return 0, nil, fmt.Errorf("treepack: n=%d exceeds partition-enumeration limit %d", ins.N, maxN)
+	}
+	if !ins.connectedOnPositive() {
+		return 0, ins.components(), nil
+	}
+	n := ins.N
+	rgs := make([]int, n) // restricted growth string; rgs[0] = 0 always
+	best := math.Inf(1)
+	var bestRGS []int
+	for {
+		blocks := 0
+		for _, b := range rgs {
+			if b+1 > blocks {
+				blocks = b + 1
+			}
+		}
+		if blocks >= 2 {
+			cross := 0.0
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if rgs[i] != rgs[j] {
+						cross += ins.W[i][j]
+					}
+				}
+			}
+			if ratio := cross / float64(blocks-1); ratio < best {
+				best = ratio
+				bestRGS = append([]int(nil), rgs...)
+			}
+		}
+		if !nextRGS(rgs) {
+			break
+		}
+	}
+	return best, blocksFromRGS(bestRGS), nil
+}
+
+// nextRGS advances a restricted-growth string in place, returning false after
+// the last one. RGS invariant: rgs[i] <= max(rgs[0..i-1]) + 1.
+func nextRGS(rgs []int) bool {
+	n := len(rgs)
+	for i := n - 1; i >= 1; i-- {
+		maxPrefix := 0
+		for j := 0; j < i; j++ {
+			if rgs[j] > maxPrefix {
+				maxPrefix = rgs[j]
+			}
+		}
+		if rgs[i] <= maxPrefix {
+			rgs[i]++
+			for j := i + 1; j < n; j++ {
+				rgs[j] = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func blocksFromRGS(rgs []int) [][]int {
+	if rgs == nil {
+		return nil
+	}
+	maxBlock := 0
+	for _, b := range rgs {
+		if b > maxBlock {
+			maxBlock = b
+		}
+	}
+	blocks := make([][]int, maxBlock+1)
+	for v, b := range rgs {
+		blocks[b] = append(blocks[b], v)
+	}
+	return blocks
+}
+
+// components returns the connected components over positive-weight edges.
+func (ins *Instance) components() [][]int {
+	comp := make([]int, ins.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var blocks [][]int
+	for s := 0; s < ins.N; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(blocks)
+		stack := []int{s}
+		comp[s] = id
+		block := []int{s}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for u := 0; u < ins.N; u++ {
+				if comp[u] < 0 && ins.W[v][u] > 0 {
+					comp[u] = id
+					block = append(block, u)
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(block)
+		blocks = append(blocks, block)
+	}
+	return blocks
+}
+
+// PackedTree is one spanning tree of the decomposition with its rate.
+type PackedTree struct {
+	Pairs [][2]int
+	Rate  float64
+}
+
+// mst returns a minimum spanning tree of the instance under the given edge
+// lengths (math.Inf(1) marks unusable edges) or nil if the usable edges do
+// not connect the graph.
+func (ins *Instance) mst(length func(i, j int) float64) [][2]int {
+	n := ins.N
+	const inf = math.MaxFloat64
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	from := make([]int, n)
+	for i := range best {
+		best[i] = inf
+		from[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		if l := length(0, j); l < inf {
+			best[j] = l
+			from[j] = 0
+		}
+	}
+	pairs := make([][2]int, 0, n-1)
+	for added := 1; added < n; added++ {
+		pick := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && best[j] < inf && (pick < 0 || best[j] < best[pick]) {
+				pick = j
+			}
+		}
+		if pick < 0 {
+			return nil // disconnected
+		}
+		inTree[pick] = true
+		pairs = append(pairs, orient(from[pick], pick))
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if l := length(pick, j); l < best[j] {
+					best[j] = l
+					from[j] = pick
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+func orient(a, b int) [2]int {
+	if a > b {
+		return [2]int{b, a}
+	}
+	return [2]int{a, b}
+}
+
+// PackFractional runs the Garg–Könemann FPTAS for the fractional
+// tree-packing LP. It returns the decomposition, the total packed value
+// (already rescaled to feasibility), and an error for bad eps. The value is
+// at least (1-eps)^2 times the Tutte/Nash-Williams optimum.
+func (ins *Instance) PackFractional(eps float64) ([]PackedTree, float64, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, 0, fmt.Errorf("treepack: eps must be in (0,1), got %v", eps)
+	}
+	if !ins.connectedOnPositive() {
+		return nil, 0, nil
+	}
+	n := ins.N
+	L := float64(n - 1) // max edges per tree
+	delta := (1 + eps) / math.Pow((1+eps)*L, 1/eps)
+
+	// Dual lengths per edge (constant initialization, as in Garg–Könemann's
+	// maximum-flow variant: the stopping rule is on tree length, so every
+	// c_e of flow through an edge multiplies its length by >= 1+eps and the
+	// final length is < (1+eps); hence raw flow <= u_e·log_{1+eps}((1+eps)/delta)
+	// uniformly over edges).
+	y := make(map[[2]int]float64)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if ins.W[i][j] > 0 {
+				y[[2]int{i, j}] = delta
+			}
+		}
+	}
+	length := func(i, j int) float64 {
+		if i > j {
+			i, j = j, i
+		}
+		if l, ok := y[[2]int{i, j}]; ok {
+			return l
+		}
+		return math.MaxFloat64
+	}
+
+	raw := make(map[string]*PackedTree)
+	var order []string
+	for {
+		pairs := ins.mst(length)
+		if pairs == nil {
+			break
+		}
+		treeLen := 0.0
+		for _, p := range pairs {
+			treeLen += y[p]
+		}
+		if treeLen >= 1 {
+			break
+		}
+		// Bottleneck budget along the tree.
+		c := math.Inf(1)
+		for _, p := range pairs {
+			if w := ins.W[p[0]][p[1]]; w < c {
+				c = w
+			}
+		}
+		key := pairsKey(pairs)
+		pt, ok := raw[key]
+		if !ok {
+			pt = &PackedTree{Pairs: clonePairs(pairs)}
+			raw[key] = pt
+			order = append(order, key)
+		}
+		pt.Rate += c
+		for _, p := range pairs {
+			y[p] *= 1 + eps*c/ins.W[p[0]][p[1]]
+		}
+	}
+
+	// Rescale to exact feasibility by the measured maximum congestion. The
+	// theoretical scale log_{1+eps}((1+eps)/delta) upper-bounds the measured
+	// congestion, so this division is never worse than the textbook scaling
+	// and keeps the (1-eps)^2 guarantee.
+	use := make(map[[2]int]float64)
+	for _, key := range order {
+		pt := raw[key]
+		for _, p := range pt.Pairs {
+			use[p] += pt.Rate
+		}
+	}
+	maxCong := 0.0
+	for p, u := range use {
+		if c := u / ins.W[p[0]][p[1]]; c > maxCong {
+			maxCong = c
+		}
+	}
+	trees := make([]PackedTree, 0, len(order))
+	total := 0.0
+	if maxCong > 0 {
+		scale := 1 / maxCong
+		for _, key := range order {
+			pt := raw[key]
+			pt.Rate *= scale
+			total += pt.Rate
+			trees = append(trees, *pt)
+		}
+	}
+	return trees, total, nil
+}
+
+// PackGreedy water-fills integral trees: it repeatedly takes the spanning
+// tree maximizing the minimum residual budget along it (max-bottleneck tree,
+// computed by a Kruskal sweep over descending residuals), routes that
+// bottleneck, and stops when the residual graph disconnects. It is the
+// natural "Fig. 1" decomposition and a lower bound on the optimum.
+func (ins *Instance) PackGreedy() ([]PackedTree, float64) {
+	n := ins.N
+	residual := make([][]float64, n)
+	for i := range residual {
+		residual[i] = append([]float64(nil), ins.W[i]...)
+	}
+	var trees []PackedTree
+	total := 0.0
+	for {
+		pairs, bottleneck := maxBottleneckTree(n, residual)
+		if pairs == nil || bottleneck <= 0 {
+			break
+		}
+		for _, p := range pairs {
+			residual[p[0]][p[1]] -= bottleneck
+			residual[p[1]][p[0]] -= bottleneck
+		}
+		trees = append(trees, PackedTree{Pairs: clonePairs(pairs), Rate: bottleneck})
+		total += bottleneck
+	}
+	return trees, total
+}
+
+// maxBottleneckTree returns a spanning tree maximizing its minimum residual
+// edge, via Kruskal over edges sorted by descending residual.
+func maxBottleneckTree(n int, residual [][]float64) ([][2]int, float64) {
+	type we struct {
+		i, j int
+		w    float64
+	}
+	edges := make([]we, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if residual[i][j] > 0 {
+				edges = append(edges, we{i, j, residual[i][j]})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].w != edges[b].w {
+			return edges[a].w > edges[b].w
+		}
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	pairs := make([][2]int, 0, n-1)
+	bottleneck := math.Inf(1)
+	for _, e := range edges {
+		ri, rj := find(e.i), find(e.j)
+		if ri == rj {
+			continue
+		}
+		parent[ri] = rj
+		pairs = append(pairs, orient(e.i, e.j))
+		if e.w < bottleneck {
+			bottleneck = e.w
+		}
+		if len(pairs) == n-1 {
+			return pairs, bottleneck
+		}
+	}
+	return nil, 0
+}
+
+func pairsKey(pairs [][2]int) string {
+	sorted := clonePairs(pairs)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a][0] != sorted[b][0] {
+			return sorted[a][0] < sorted[b][0]
+		}
+		return sorted[a][1] < sorted[b][1]
+	})
+	key := make([]byte, 0, len(sorted)*4)
+	for _, p := range sorted {
+		key = append(key, byte(p[0]), byte(p[0]>>8), byte(p[1]), byte(p[1]>>8))
+	}
+	return string(key)
+}
+
+func clonePairs(pairs [][2]int) [][2]int {
+	out := make([][2]int, len(pairs))
+	copy(out, pairs)
+	return out
+}

@@ -1,0 +1,350 @@
+package treepack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"overcast/internal/lp"
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+)
+
+// exactPackLP solves the fractional tree-packing LP exactly by enumerating
+// all spanning trees (Prüfer) and running the simplex: the ground truth for
+// both Strength (via Tutte/Nash-Williams) and PackFractional.
+func exactPackLP(t *testing.T, ins *Instance) float64 {
+	t.Helper()
+	type edgeIdx struct{ i, j int }
+	idx := map[edgeIdx]int{}
+	var budgets []float64
+	for i := 0; i < ins.N; i++ {
+		for j := i + 1; j < ins.N; j++ {
+			if ins.W[i][j] > 0 {
+				idx[edgeIdx{i, j}] = len(budgets)
+				budgets = append(budgets, ins.W[i][j])
+			}
+		}
+	}
+	var cols [][]float64 // one column (as row of A^T) per tree
+	err := overlay.EnumerateTrees(ins.N, 7, func(pairs [][2]int) error {
+		col := make([]float64, len(budgets))
+		for _, p := range pairs {
+			k, ok := idx[edgeIdx{p[0], p[1]}]
+			if !ok {
+				return nil // tree uses an absent edge; infeasible, skip
+			}
+			col[k] = 1
+		}
+		cols = append(cols, col)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) == 0 {
+		return 0
+	}
+	nTrees := len(cols)
+	p := lp.Problem{C: make([]float64, nTrees), A: make([][]float64, len(budgets)), B: budgets}
+	for j := range p.C {
+		p.C[j] = 1
+	}
+	for r := range p.A {
+		row := make([]float64, nTrees)
+		for c := 0; c < nTrees; c++ {
+			row[c] = cols[c][r]
+		}
+		p.A[r] = row
+	}
+	res, err := lp.Solve(p)
+	if err != nil {
+		t.Fatalf("exact LP: %v", err)
+	}
+	return res.Value
+}
+
+func randomInstance(r *rng.RNG, n int, density float64) *Instance {
+	ins, _ := NewInstance(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < density {
+				_ = ins.SetWeight(i, j, 1+float64(r.Intn(8)))
+			}
+		}
+	}
+	return ins
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance(1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	ins, _ := NewInstance(3)
+	if err := ins.SetWeight(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := ins.SetWeight(0, 5, 1); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := ins.SetWeight(0, 1, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := ins.SetWeight(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ins.W[1][0] != 2 {
+		t.Error("weight not symmetric")
+	}
+	if ins.TotalWeight() != 2 {
+		t.Errorf("TotalWeight = %v", ins.TotalWeight())
+	}
+}
+
+func TestStrengthTriangle(t *testing.T) {
+	// Uniform triangle with weight w: the singleton partition gives
+	// 3w/2, pairs give 2w/1; strength = 1.5w.
+	ins, _ := NewInstance(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		_ = ins.SetWeight(e[0], e[1], 4)
+	}
+	s, part, err := ins.Strength(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-6) > 1e-9 {
+		t.Fatalf("triangle strength %v, want 6", s)
+	}
+	if len(part) != 3 {
+		t.Fatalf("minimizing partition %v, want singletons", part)
+	}
+}
+
+func TestStrengthBridge(t *testing.T) {
+	// Two triangles joined by one light edge: the 2-block partition across
+	// the bridge dominates.
+	ins, _ := NewInstance(6)
+	heavy := [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}
+	for _, e := range heavy {
+		_ = ins.SetWeight(e[0], e[1], 10)
+	}
+	_ = ins.SetWeight(2, 3, 1)
+	s, part, err := ins.Strength(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("bridge strength %v, want 1", s)
+	}
+	if len(part) != 2 {
+		t.Fatalf("partition %v, want the bridge cut", part)
+	}
+}
+
+func TestStrengthDisconnected(t *testing.T) {
+	ins, _ := NewInstance(4)
+	_ = ins.SetWeight(0, 1, 5)
+	_ = ins.SetWeight(2, 3, 5)
+	s, part, err := ins.Strength(8)
+	if err != nil || s != 0 {
+		t.Fatalf("disconnected strength = %v err=%v", s, err)
+	}
+	if len(part) != 2 {
+		t.Fatalf("components %v", part)
+	}
+}
+
+func TestStrengthGuard(t *testing.T) {
+	ins, _ := NewInstance(12)
+	if _, _, err := ins.Strength(10); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+// TestTutteNashWilliams is the central invariant: exact LP packing value ==
+// exact partition minimum, on random connected instances.
+func TestTutteNashWilliams(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + r.Intn(3) // 3..5
+		ins := randomInstance(r.Split(uint64(trial)), n, 0.9)
+		if !ins.connectedOnPositive() {
+			continue
+		}
+		strength, _, err := ins.Strength(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed := exactPackLP(t, ins)
+		if math.Abs(strength-packed) > 1e-6 {
+			t.Fatalf("trial %d n=%d: strength %v != exact packing %v (W=%v)",
+				trial, n, strength, packed, ins.W)
+		}
+	}
+}
+
+func TestPackFractionalApproximation(t *testing.T) {
+	r := rng.New(101)
+	const eps = 0.05
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(3)
+		ins := randomInstance(r.Split(uint64(trial)), n, 1.0)
+		strength, _, err := ins.Strength(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees, total, err := ins.PackFractional(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total > strength+1e-6 {
+			t.Fatalf("trial %d: packed %v exceeds optimum %v", trial, total, strength)
+		}
+		if total < (1-2*eps)*strength-1e-9 {
+			t.Fatalf("trial %d: packed %v below (1-2eps) bound of %v", trial, total, strength)
+		}
+		// Feasibility: per-edge usage within budget.
+		use := map[[2]int]float64{}
+		for _, tr := range trees {
+			for _, p := range tr.Pairs {
+				use[p] += tr.Rate
+			}
+		}
+		for p, u := range use {
+			if u > ins.W[p[0]][p[1]]+1e-6 {
+				t.Fatalf("trial %d: edge %v overused %v > %v", trial, p, u, ins.W[p[0]][p[1]])
+			}
+		}
+	}
+}
+
+func TestPackFractionalBadEps(t *testing.T) {
+	ins, _ := NewInstance(3)
+	_ = ins.SetWeight(0, 1, 1)
+	if _, _, err := ins.PackFractional(0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, _, err := ins.PackFractional(1); err == nil {
+		t.Error("eps=1 accepted")
+	}
+}
+
+func TestPackFractionalDisconnected(t *testing.T) {
+	ins, _ := NewInstance(4)
+	_ = ins.SetWeight(0, 1, 5)
+	trees, total, err := ins.PackFractional(0.1)
+	if err != nil || total != 0 || len(trees) != 0 {
+		t.Fatalf("disconnected pack = %v/%v/%v", trees, total, err)
+	}
+}
+
+func TestPackGreedyFeasibleAndPositive(t *testing.T) {
+	// Figure-1 style K4 decomposition: uniform K4 with weight 3. Strength =
+	// 6*3/3 = 6 (singletons).
+	ins, _ := NewInstance(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			_ = ins.SetWeight(i, j, 3)
+		}
+	}
+	trees, total := ins.PackGreedy()
+	if len(trees) == 0 || total <= 0 {
+		t.Fatal("greedy packed nothing")
+	}
+	use := map[[2]int]float64{}
+	for _, tr := range trees {
+		if len(tr.Pairs) != 3 {
+			t.Fatalf("non-spanning greedy tree %v", tr.Pairs)
+		}
+		for _, p := range tr.Pairs {
+			use[p] += tr.Rate
+		}
+	}
+	for p, u := range use {
+		if u > ins.W[p[0]][p[1]]+1e-9 {
+			t.Fatalf("edge %v overused: %v > %v", p, u, ins.W[p[0]][p[1]])
+		}
+	}
+	strength, _, _ := ins.Strength(8)
+	if total > strength+1e-9 {
+		t.Fatalf("greedy %v exceeds strength %v", total, strength)
+	}
+	// Greedy on uniform K4 should get at least half the optimum.
+	if total < strength/2 {
+		t.Fatalf("greedy %v below half of strength %v", total, strength)
+	}
+}
+
+func TestFigure1Packing(t *testing.T) {
+	// A Fig. 1 analogue: 4-node session where greedy decomposes the overlay
+	// graph into multiple trees whose aggregate rate matches the exact
+	// optimum. Weights form two strong edges and four weak ones.
+	ins, _ := NewInstance(4)
+	_ = ins.SetWeight(0, 1, 3)
+	_ = ins.SetWeight(0, 2, 3)
+	_ = ins.SetWeight(0, 3, 3)
+	_ = ins.SetWeight(1, 2, 5)
+	_ = ins.SetWeight(1, 3, 2)
+	_ = ins.SetWeight(2, 3, 1)
+	strength, _, err := ins.Strength(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactPackLP(t, ins)
+	if math.Abs(strength-exact) > 1e-6 {
+		t.Fatalf("min-max violated: %v vs %v", strength, exact)
+	}
+	_, greedyTotal := ins.PackGreedy()
+	if greedyTotal > exact+1e-9 {
+		t.Fatalf("greedy %v exceeds exact %v", greedyTotal, exact)
+	}
+	trees, fptasTotal, err := ins.PackFractional(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fptasTotal < 0.9*exact {
+		t.Fatalf("FPTAS %v too far below exact %v", fptasTotal, exact)
+	}
+	if len(trees) < 2 {
+		t.Fatalf("expected a multi-tree decomposition, got %d trees", len(trees))
+	}
+}
+
+// TestGreedyNeverExceedsStrength property-tests feasibility and the min-max
+// upper bound for the greedy packer.
+func TestGreedyNeverExceedsStrength(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(4)
+		ins := randomInstance(r, n, 0.8)
+		strength, _, err := ins.Strength(9)
+		if err != nil {
+			return false
+		}
+		_, total := ins.PackGreedy()
+		return total <= strength+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStrengthN7(b *testing.B) {
+	ins := randomInstance(rng.New(3), 7, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ins.Strength(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackFractionalN10(b *testing.B) {
+	ins := randomInstance(rng.New(4), 10, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ins.PackFractional(0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package overcast_test
+
+import "overcast"
+
+// newK4 builds the complete graph on 4 nodes with capacity 10 — the
+// canonical tree-packing instance (Nash-Williams strength 2).
+func newK4() (*overcast.Network, error) {
+	return overcast.CustomNetwork(4, []overcast.Link{
+		{From: 0, To: 1, Capacity: 10}, {From: 0, To: 2, Capacity: 10},
+		{From: 0, To: 3, Capacity: 10}, {From: 1, To: 2, Capacity: 10},
+		{From: 1, To: 3, Capacity: 10}, {From: 2, To: 3, Capacity: 10},
+	})
+}
+
+func newK4System(net *overcast.Network) (*overcast.System, error) {
+	return overcast.NewSystem(net, []overcast.Session{
+		{Members: []int{0, 1, 2, 3}, Demand: 1},
+	}, overcast.RoutingIP)
+}

@@ -1,0 +1,113 @@
+package overcast
+
+import (
+	"fmt"
+
+	"overcast/internal/core"
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/routing"
+)
+
+// OnlineAllocator admits sessions one at a time, assigning each a single
+// overlay tree immediately and permanently (the paper's Table VI online
+// algorithm). The step size mu controls how aggressively loaded links are
+// avoided; values around the expected per-session rate work well, and the
+// congestion stays within O(log links) of the offline optimum.
+type OnlineAllocator struct {
+	net     *Network
+	routing Routing
+	weights graph.Lengths
+	inner   *core.Online
+	nextID  int
+	demands []float64
+}
+
+// NewOnlineAllocator creates an allocator over net with step size mu.
+func NewOnlineAllocator(net *Network, mu float64, routing Routing) (*OnlineAllocator, error) {
+	if net == nil {
+		return nil, fmt.Errorf("overcast: nil network")
+	}
+	inner, err := core.NewOnline(net.inner.Graph, mu)
+	if err != nil {
+		return nil, err
+	}
+	var weights graph.Lengths
+	if len(net.inner.Pos) == net.inner.Graph.NumNodes() && len(net.inner.Pos) > 0 {
+		weights = net.inner.LinkDelays()
+	}
+	return &OnlineAllocator{net: net, routing: routing, weights: weights, inner: inner}, nil
+}
+
+// Join admits a session and returns the overlay tree it was assigned (as
+// member-index pairs). The session keeps this tree for its lifetime.
+func (o *OnlineAllocator) Join(s Session) ([][2]int, error) {
+	os, err := overlay.NewSession(o.nextID, s.Members, s.Demand)
+	if err != nil {
+		return nil, err
+	}
+	g := o.net.inner.Graph
+	var rt *routing.IPRoutes
+	if o.weights != nil {
+		rt = routing.NewWeightedIPRoutes(g, os.Members, o.weights)
+	} else {
+		rt = routing.NewIPRoutes(g, os.Members)
+	}
+	var oracle overlay.TreeOracle
+	if o.routing == RoutingArbitrary {
+		oracle, err = overlay.NewArbitraryOracle(g, rt, os)
+	} else {
+		oracle, err = overlay.NewFixedOracle(g, rt, os)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tree, err := o.inner.Join(oracle)
+	if err != nil {
+		return nil, err
+	}
+	o.nextID++
+	o.demands = append(o.demands, s.Demand)
+	pairs := make([][2]int, len(tree.Pairs))
+	copy(pairs, tree.Pairs)
+	return pairs, nil
+}
+
+// Leave removes a previously admitted session by its arrival index: its
+// tree is torn down and its length inflation rolled back exactly, so the
+// links it used become attractive to future arrivals again. Later sessions
+// are never rerouted.
+func (o *OnlineAllocator) Leave(idx int) error { return o.inner.Leave(idx) }
+
+// Sessions returns the number of admitted sessions (including departed
+// ones; see ActiveSessions).
+func (o *OnlineAllocator) Sessions() int { return o.inner.NumSessions() }
+
+// ActiveSessions returns the number of admitted sessions that have not
+// left.
+func (o *OnlineAllocator) ActiveSessions() int { return o.inner.ActiveSessions() }
+
+// MaxCongestion returns the current maximum link congestion if every
+// admitted session sent at its full demand.
+func (o *OnlineAllocator) MaxCongestion() float64 { return o.inner.MaxCongestion() }
+
+// SessionRate returns the feasible rate of the idx-th admitted session
+// under the current population: demand divided by the session's maximum
+// link congestion. Rates shrink as competing sessions join and recover when
+// they leave. Only meaningful for sessions that have not left.
+func (o *OnlineAllocator) SessionRate(idx int) float64 {
+	if l := o.inner.SessionMaxCongestion(idx); l > 0 {
+		return o.demands[idx] / l
+	}
+	return o.demands[idx]
+}
+
+// Finalize produces the exactly feasible allocation for all admitted
+// sessions (each scaled by its own maximum congestion).
+func (o *OnlineAllocator) Finalize() (*Allocation, error) {
+	sol, err := o.inner.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Allocation{sol: sol}, nil
+}

@@ -1,0 +1,107 @@
+package overcast
+
+import (
+	"fmt"
+
+	"overcast/internal/routing"
+	"overcast/internal/sim"
+)
+
+// TreeQuality summarizes the classic overlay-multicast quality metrics of
+// one session's tree set. The paper's related work (Narada, Delaunay
+// overlays) optimizes these directly; throughput-optimal tree selection
+// trades them off, and this accessor quantifies by how much.
+type TreeQuality struct {
+	// MaxStress is the largest number of identical copies any physical link
+	// carries for this session, over all its trees.
+	MaxStress int
+	// MeanStress is the rate-weighted mean stress over trees (mean over
+	// used links within each tree).
+	MeanStress float64
+	// MaxStretch is the worst ratio of tree-path length to direct unicast
+	// route length over all receivers and trees.
+	MaxStretch float64
+	// MeanStretch is the rate-weighted mean receiver stretch.
+	MeanStretch float64
+	// MaxDepth is the deepest overlay pipeline over trees — the session's
+	// relay start-up latency in overlay hops.
+	MaxDepth int
+}
+
+// QualityMetrics computes stress/stretch/depth statistics for session i's
+// trees. Stretch compares against hop-count shortest routes.
+func (a *Allocation) QualityMetrics(i int) (*TreeQuality, error) {
+	if i < 0 || i >= len(a.sol.Sessions) {
+		return nil, fmt.Errorf("overcast: session %d out of range", i)
+	}
+	s := a.sol.Sessions[i]
+	rt := routing.NewIPRoutes(a.sol.G, s.Members)
+	q := &TreeQuality{}
+	totalRate := 0.0
+	for _, tf := range a.sol.Flows[i] {
+		if tf.Rate <= 0 {
+			continue
+		}
+		totalRate += tf.Rate
+		maxS, meanS := tf.Tree.Stress()
+		if maxS > q.MaxStress {
+			q.MaxStress = maxS
+		}
+		q.MeanStress += meanS * tf.Rate
+		ratios, maxR, err := tf.Tree.Stretch(s, rt)
+		if err != nil {
+			return nil, err
+		}
+		if maxR > q.MaxStretch {
+			q.MaxStretch = maxR
+		}
+		mean := 0.0
+		for _, r := range ratios {
+			mean += r
+		}
+		if len(ratios) > 0 {
+			mean /= float64(len(ratios))
+		}
+		q.MeanStretch += mean * tf.Rate
+		depths, err := tf.Tree.Depths(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range depths {
+			if d > q.MaxDepth {
+				q.MaxDepth = d
+			}
+		}
+	}
+	if totalRate > 0 {
+		q.MeanStress /= totalRate
+		q.MeanStretch /= totalRate
+	}
+	return q, nil
+}
+
+// SimulateChunks replays the allocation on the chunk-level store-and-forward
+// simulator, reporting pipeline depths and stream lags in addition to
+// goodput. See Allocation.Simulate for the fluid variant.
+func (a *Allocation) SimulateChunks(steps int, dt float64) (*ChunkReport, error) {
+	rep, err := sim.RunChunks(a.sol, sim.ChunkConfig{Steps: steps, DT: dt})
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkReport{
+		ReceiverRate: rep.ReceiverRate,
+		MaxDepth:     rep.MaxDepth,
+		MaxLag:       rep.MaxLagUnits,
+	}, nil
+}
+
+// ChunkReport is the outcome of a chunk-level simulation.
+type ChunkReport struct {
+	// ReceiverRate[i] is session i's aggregate receiver goodput.
+	ReceiverRate []float64
+	// MaxDepth[i] is the session's deepest overlay pipeline in hops.
+	MaxDepth []int
+	// MaxLag[i] is the largest end-of-run stream lag over the session's
+	// receivers, in data units.
+	MaxLag []float64
+}

@@ -1,0 +1,89 @@
+package overcast_test
+
+import (
+	"testing"
+
+	"overcast"
+)
+
+func TestQualityMetrics(t *testing.T) {
+	sys := demoSystem(t, overcast.RoutingIP)
+	alloc, err := sys.MaxFlow(0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.NumSessions(); i++ {
+		q, err := alloc.QualityMetrics(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.MaxStress < 1 {
+			t.Fatalf("session %d max stress %d < 1", i, q.MaxStress)
+		}
+		if q.MeanStress < 1 || q.MeanStress > float64(q.MaxStress) {
+			t.Fatalf("session %d mean stress %v outside [1, %d]", i, q.MeanStress, q.MaxStress)
+		}
+		if q.MaxStretch < 1 {
+			t.Fatalf("session %d max stretch %v < 1", i, q.MaxStretch)
+		}
+		if q.MeanStretch < 1 || q.MeanStretch > q.MaxStretch+1e-9 {
+			t.Fatalf("session %d mean stretch %v outside [1, %v]", i, q.MeanStretch, q.MaxStretch)
+		}
+		if q.MaxDepth < 1 {
+			t.Fatalf("session %d depth %d < 1", i, q.MaxDepth)
+		}
+	}
+	if _, err := alloc.QualityMetrics(99); err == nil {
+		t.Fatal("out-of-range session accepted")
+	}
+}
+
+func TestQualityStarBaselineDepthTwo(t *testing.T) {
+	// SplitStream stripes are stars centered at each member: the stripe
+	// hubbed at the source has depth 1, all others depth 2 (source -> hub
+	// -> receivers). Max depth over stripes is therefore exactly 2.
+	sys := demoSystem(t, overcast.RoutingIP)
+	split, err := sys.SplitStreamBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := split.QualityMetrics(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MaxDepth != 2 {
+		t.Fatalf("SplitStream stripe depth %d, want 2", q.MaxDepth)
+	}
+}
+
+func TestSimulateChunksEndToEnd(t *testing.T) {
+	sys := demoSystem(t, overcast.RoutingIP)
+	alloc, err := sys.MaxFlow(0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := alloc.SimulateChunks(500, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sys.NumSessions(); i++ {
+		want := alloc.SessionRate(i) * float64(len(alloc.Trees(i)[0].Pairs))
+		_ = want
+		q, err := alloc.QualityMetrics(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MaxDepth[i] != q.MaxDepth {
+			t.Fatalf("session %d: simulator depth %d vs metrics depth %d", i, rep.MaxDepth[i], q.MaxDepth)
+		}
+		if rep.ReceiverRate[i] <= 0 {
+			t.Fatalf("session %d: zero goodput", i)
+		}
+		if rep.MaxLag[i] < 0 {
+			t.Fatalf("session %d: negative lag", i)
+		}
+	}
+	if _, err := alloc.SimulateChunks(0, 1); err == nil {
+		t.Fatal("Steps=0 accepted")
+	}
+}
