@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build test race fmt fmt-check vet bench bench-smoke bench-scale clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark suite (paper tables/figures + scale tier).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One iteration per benchmark, heaviest scale instances skipped — what CI runs.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+# Large-instance scale tier only (1,000-10,000 nodes; takes minutes).
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem -timeout 3600s .
+
+clean:
+	$(GO) clean ./...
+	rm -f *.test *.prof *.out bench-smoke.txt

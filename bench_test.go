@@ -6,9 +6,12 @@ package overcast_test
 // full-size versions and prints the same rows/series the paper reports.
 
 import (
+	"sync"
 	"testing"
 
 	"overcast/internal/experiments"
+	"overcast/internal/graph"
+	"overcast/internal/routing"
 	"overcast/internal/stats"
 )
 
@@ -310,6 +313,165 @@ func BenchmarkFig19OnlineMinRateRatio(b *testing.B) {
 		}
 		if res.MinRateRatio[4].At(2, 4) <= 0 {
 			b.Fatal("empty ratio")
+		}
+	}
+}
+
+// --- Scale tier -------------------------------------------------------------
+//
+// The BenchmarkScale* benchmarks measure the regime the ROADMAP north-star
+// cares about: Waxman topologies at 1,000-10,000 nodes with 64-256 competing
+// sessions, i.e. the repeated shortest-path / minimum-overlay-spanning-tree
+// oracle calls that dominate solver time at scale. Instances are cached per
+// configuration so b.N iterations (and sibling benchmarks) share setup. The
+// heaviest instances skip under -short so the CI bench smoke (-benchtime 1x
+// -short) stays fast.
+
+var (
+	scaleMu    sync.Mutex
+	scaleCache = map[string]*experiments.ScaleInstance{}
+)
+
+func scaleInstance(b *testing.B, cfg experiments.ScaleConfig) *experiments.ScaleInstance {
+	b.Helper()
+	scaleMu.Lock()
+	defer scaleMu.Unlock()
+	key := cfg.Name()
+	if si, ok := scaleCache[key]; ok {
+		return si
+	}
+	si, err := experiments.NewScaleInstance(9000, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaleCache[key] = si
+	return si
+}
+
+// BenchmarkScaleMCFFixed is the acceptance benchmark of the CSR+scratch
+// refactor: MaxConcurrentFlow on a 1,000-node Waxman topology with 64
+// competing sessions under fixed IP routing.
+func BenchmarkScaleMCFFixed(b *testing.B) {
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 1000, Sessions: 64, SessionSize: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := si.MCF(0.25, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Lambda <= 0 {
+			b.Fatalf("lambda %v", res.Lambda)
+		}
+	}
+}
+
+// BenchmarkScaleMaxFlowFixed runs the M1 FPTAS on the same 1,000x64 instance.
+func BenchmarkScaleMaxFlowFixed(b *testing.B) {
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 1000, Sessions: 64, SessionSize: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := si.MaxFlow(0.25, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.OverallThroughput() <= 0 {
+			b.Fatal("zero throughput")
+		}
+	}
+}
+
+// BenchmarkScaleMCFArbitrary exercises the dynamic-routing oracle (one
+// Dijkstra per member per MinTree call) at 1,000 nodes and 64 sessions.
+func BenchmarkScaleMCFArbitrary(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy scale benchmark skipped in -short mode")
+	}
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 1000, Sessions: 64, SessionSize: 5, Arbitrary: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := si.MCF(0.3, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Lambda <= 0 {
+			b.Fatalf("lambda %v", res.Lambda)
+		}
+	}
+}
+
+// BenchmarkScaleMaxFlowFixedLarge pushes the fixed-routing solver to 2,000
+// nodes and 128 sessions.
+func BenchmarkScaleMaxFlowFixedLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy scale benchmark skipped in -short mode")
+	}
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 2000, Sessions: 128, SessionSize: 6})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := si.MaxFlow(0.3, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.OverallThroughput() <= 0 {
+			b.Fatal("zero throughput")
+		}
+	}
+}
+
+// BenchmarkScaleMOSTFixed isolates one fixed-routing oracle call (the MCF
+// inner loop body) on a 2,000-node, 64-member-pool instance.
+func BenchmarkScaleMOSTFixed(b *testing.B) {
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 2000, Sessions: 64, SessionSize: 8})
+	d := graph.NewLengths(si.Net.Graph, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := si.Problem.Oracles[i%len(si.Problem.Oracles)].MinTree(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Pairs) == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// BenchmarkScaleMOSTArbitrary isolates one dynamic-routing oracle call
+// (session-size Dijkstras plus Prim) on the same 2,000-node instance.
+func BenchmarkScaleMOSTArbitrary(b *testing.B) {
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 2000, Sessions: 64, SessionSize: 8, Arbitrary: true})
+	d := graph.NewLengths(si.Net.Graph, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := si.Problem.Oracles[i%len(si.Problem.Oracles)].MinTree(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Pairs) == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// BenchmarkScaleDijkstra isolates the shortest-path primitive on a
+// 10,000-node topology (the largest tier instance).
+func BenchmarkScaleDijkstra(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy scale benchmark skipped in -short mode")
+	}
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 10000, Sessions: 1, SessionSize: 4})
+	d := si.Net.LinkDelays()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist, _ := routing.ShortestPaths(si.Net.Graph, i%si.Net.Graph.NumNodes(), d)
+		if len(dist) != si.Net.Graph.NumNodes() {
+			b.Fatal("bad dist")
 		}
 	}
 }

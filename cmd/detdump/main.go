@@ -1,0 +1,59 @@
+// Command detdump prints a full-precision fingerprint of solver outputs on
+// deterministic instances, used to verify that refactors keep solutions
+// bit-identical for fixed seeds.
+package main
+
+import (
+	"fmt"
+
+	"overcast/internal/core"
+	"overcast/internal/experiments"
+)
+
+func main() {
+	for _, arb := range []bool{false, true} {
+		a, err := experiments.NewSettingA(7, experiments.SettingAConfig{
+			Nodes: 120, SessionSizes: []int{7, 5, 4}, Demand: 100, Capacity: 100,
+		})
+		if err != nil {
+			panic(err)
+		}
+		p := a.ProblemIP
+		if arb {
+			p = a.ProblemArb
+		}
+		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("arb=%v maxflow mstops=%d\n", arb, mf.MSTOps)
+		for i := range p.Sessions {
+			fmt.Printf("  rate[%d]=%.17g trees=%d\n", i, mf.SessionRate(i), mf.TreeCount(i))
+		}
+		for e, u := range mf.Utilizations() {
+			if e%37 == 0 {
+				fmt.Printf("  util[%d]=%.17g\n", e, u)
+			}
+		}
+		mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
+			Epsilon: 0.1, Parallel: true, SurplusPass: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("arb=%v mcf lambda=%.17g mstops=%d prestep=%d\n", arb, mcf.Lambda, mcf.MSTOps, mcf.PrestepMSTOps)
+		for i := range p.Sessions {
+			fmt.Printf("  rate[%d]=%.17g trees=%d\n", i, mcf.SessionRate(i), mcf.TreeCount(i))
+		}
+		tl, err := a.TreeLimitSweep(experiments.TreeLimitConfig{
+			MaxTrees: []int{1, 5}, Mus: []float64{30}, Trials: 4, BaseRatio: 0.92, Arbitrary: arb,
+		})
+		if err != nil {
+			panic(err)
+		}
+		for j := range tl.MaxTrees {
+			fmt.Printf("arb=%v treelimit[%d] rnd=%.17g online=%.17g\n",
+				arb, j, tl.Random[j].Throughput, tl.Online[30][j].Throughput)
+		}
+	}
+}

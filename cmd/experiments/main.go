@@ -1,18 +1,25 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, plus the
+// large-instance scale tier.
 //
 // Usage:
 //
-//	experiments [-scale small|paper] [-seed N] [-trials N] [-maxpts N] [exp ...]
+//	experiments [-scale small|paper|large] [-seed N] [-trials N] [-maxpts N]
+//	            [-nodes N -sessions K -sessionsize S] [exp ...]
 //
 // where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
 // table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// fig15, fig16, fig17, fig18, fig19, or "all". With no arguments the
-// Setting-A experiments (table2..fig11) run.
+// fig15, fig16, fig17, fig18, fig19, scale, or "all". With no arguments the
+// Setting-A experiments (table2..fig11) run; with -scale large the scale
+// tier runs.
 //
 // -scale small (default) runs reduced instances in seconds; -scale paper
 // reproduces the paper's instance sizes (100-node Waxman, 10x100 two-level
 // topology, ratio sweep 0.90..0.99) and can take hours for the Sec. VI
-// grid.
+// grid; -scale large runs the north-star regime the BenchmarkScale*
+// benchmarks measure — Waxman topologies at 2,000-10,000 nodes with 64-256
+// competing sessions under both routing models (minutes to hours). The
+// "scale" experiment honours -nodes/-sessions/-sessionsize to solve one
+// custom instance instead of the built-in suite.
 package main
 
 import (
@@ -27,24 +34,32 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "small", "instance scale: small or paper")
+	scale := flag.String("scale", "small", "instance scale: small, paper, or large")
 	seed := flag.Uint64("seed", 2004, "experiment seed")
 	trials := flag.Int("trials", 0, "override trial count for averaged sweeps (0 = scale default)")
 	maxpts := flag.Int("maxpts", 12, "max points printed per curve")
+	nodes := flag.Int("nodes", 0, "scale experiment: custom topology size (0 = built-in suite)")
+	sessions := flag.Int("sessions", 64, "scale experiment: custom session count")
+	sessionSize := flag.Int("sessionsize", 6, "scale experiment: custom members per session")
 	flag.Parse()
 
 	exps := flag.Args()
 	if len(exps) == 0 {
-		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
-			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11"}
+		if *scale == "large" {
+			exps = []string{"scale"}
+		} else {
+			exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
+				"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11"}
+		}
 	}
 	if len(exps) == 1 && exps[0] == "all" {
 		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
 			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19"}
+			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "scale"}
 	}
 
-	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts}
+	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
+		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize}
 	for _, e := range exps {
 		start := time.Now()
 		if err := r.run(e); err != nil {
@@ -56,10 +71,13 @@ func main() {
 }
 
 type runner struct {
-	scale  string
-	seed   uint64
-	trials int
-	maxpts int
+	scale       string
+	seed        uint64
+	trials      int
+	maxpts      int
+	nodes       int
+	sessions    int
+	sessionSize int
 
 	settingA *experiments.SettingA
 	settingB *experiments.SettingB
@@ -314,6 +332,25 @@ func (r *runner) run(exp string) error {
 				fmt.Printf("Fig 19: online/MCF min-rate ratio, %d trees\n", l)
 				fmt.Print(res.MinRateRatio[l].Render())
 			}
+		}
+	case "scale":
+		cfgs := experiments.SmallScaleSuite()
+		if r.scale == "paper" || r.scale == "large" {
+			cfgs = experiments.DefaultScaleSuite()
+		}
+		if r.nodes > 0 {
+			cfgs = []experiments.ScaleConfig{
+				{Nodes: r.nodes, Sessions: r.sessions, SessionSize: r.sessionSize},
+				{Nodes: r.nodes, Sessions: r.sessions, SessionSize: r.sessionSize, Arbitrary: true},
+			}
+		}
+		rows, err := experiments.ScaleSuite(r.seed, 0.3, true, cfgs)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Scale tier: large-instance solver throughput")
+		for _, row := range rows {
+			fmt.Println(row.String())
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -1,0 +1,3 @@
+module overcast
+
+go 1.24

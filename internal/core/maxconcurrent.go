@@ -114,6 +114,9 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 		maxPhases = budget * (bits(k) + 2)
 	}
 
+	// The phase loop queries one oracle at a time, so a single scratch
+	// serves every session; it persists across all phases.
+	scratch := overlay.NewScratch(p.G)
 	phases := 0
 	sinceDoubling := 0
 	doublings := 0
@@ -135,7 +138,7 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 		for i := 0; i < k && bigD < 1; i++ {
 			rem := dem[i]
 			for bigD < 1 && rem > 1e-15 {
-				t, err := p.Oracles[i].MinTree(d)
+				t, err := overlay.MinTreeWith(p.Oracles[i], d, scratch)
 				if err != nil {
 					return nil, fmt.Errorf("core: MCF oracle %d: %w", i, err)
 				}

@@ -63,6 +63,11 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 
 	d := graph.NewLengths(p.G, delta)
 	acc := newFlowAccumulator(p)
+	// One worker pool plus per-worker scratch for the whole run: the oracle
+	// fan-out below executes every iteration, and rebuilding goroutines and
+	// buffers each time used to dominate the solver's allocation profile.
+	runner := newMOSTRunner(p.G, p.Oracles, opts.Parallel)
+	defer runner.close()
 
 	maxIter := opts.MaxIterations
 	if maxIter == 0 {
@@ -73,7 +78,7 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		results := computeMOSTs(p.Oracles, d, opts.Parallel)
+		results := runner.compute(d)
 		acc.sol.MSTOps += p.K()
 		best := -1
 		bestNorm := math.Inf(1)

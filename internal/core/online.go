@@ -31,6 +31,7 @@ type Online struct {
 	factors [][]edgeFactor
 	mstOps  int
 	nActive int
+	scratch *overlay.Scratch // reused across Join calls
 }
 
 // edgeFactor is one multiplicative length update applied at join time.
@@ -51,7 +52,7 @@ func NewOnline(g *graph.Graph, mu float64) (*Online, error) {
 	for e := range d {
 		d[e] = 1 / g.Edges[e].Capacity
 	}
-	return &Online{g: g, mu: mu, d: d, le: make([]float64, g.NumEdges())}, nil
+	return &Online{g: g, mu: mu, d: d, le: make([]float64, g.NumEdges()), scratch: overlay.NewScratch(g)}, nil
 }
 
 // Join admits a new session: its tree is chosen by the oracle under the
@@ -60,7 +61,7 @@ func NewOnline(g *graph.Graph, mu float64) (*Online, error) {
 // forever.
 func (o *Online) Join(oracle overlay.TreeOracle) (*overlay.Tree, error) {
 	s := oracle.Session()
-	t, err := oracle.MinTree(o.d)
+	t, err := overlay.MinTreeWith(oracle, o.d, o.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("core: online join session %d: %w", s.ID, err)
 	}

@@ -16,50 +16,94 @@ type mostResult struct {
 	err  error
 }
 
-// computeMOSTs evaluates every oracle's MinTree under d, in parallel when
-// parallel is set and there is more than one session. The reduction is
-// deterministic: results land in a slice indexed by session, so scheduling
-// order never affects output.
-func computeMOSTs(oracles []overlay.TreeOracle, d graph.Lengths, parallel bool) []mostResult {
+// mostRunner evaluates every oracle's MinTree under successive length
+// functions. It owns a persistent worker pool with one overlay.Scratch per
+// worker, so a solver's thousands of iterations share goroutines and buffers
+// instead of rebuilding both every iteration. The reduction is deterministic:
+// results land in a slice indexed by session, so scheduling order never
+// affects output. Create with newMOSTRunner and release with close (idempotent
+// to leak-check: close is required only for the parallel variant's workers).
+type mostRunner struct {
+	oracles []overlay.TreeOracle
+	out     []mostResult
+	workers int
+
+	// Sequential mode: one scratch, no goroutines.
+	seq *overlay.Scratch
+
+	// Parallel mode: persistent workers fed per-batch via jobs; d is the
+	// batch's length function, published before the sends and therefore
+	// visible to workers via the channel's happens-before edge.
+	jobs chan int
+	wg   sync.WaitGroup
+	d    graph.Lengths
+}
+
+// newMOSTRunner builds a runner over the problem's oracles. parallel requests
+// fan-out across GOMAXPROCS workers; with one oracle or one CPU it degrades
+// to the sequential single-scratch path.
+func newMOSTRunner(g *graph.Graph, oracles []overlay.TreeOracle, parallel bool) *mostRunner {
 	k := len(oracles)
-	out := make([]mostResult, k)
-	if !parallel || k == 1 || runtime.GOMAXPROCS(0) == 1 {
-		for i, o := range oracles {
-			t, err := o.MinTree(d)
-			if err != nil {
-				out[i] = mostResult{err: err}
-				continue
+	r := &mostRunner{oracles: oracles, out: make([]mostResult, k), workers: 1}
+	if parallel && k > 1 {
+		if w := runtime.GOMAXPROCS(0); w > 1 {
+			if w > k {
+				w = k
 			}
-			out[i] = mostResult{tree: t, len: t.LengthUnder(d)}
+			r.workers = w
 		}
-		return out
 	}
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > k {
-		workers = k
+	if r.workers == 1 {
+		r.seq = overlay.NewScratch(g)
+		return r
 	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+	r.jobs = make(chan int)
+	for w := 0; w < r.workers; w++ {
 		go func() {
-			defer wg.Done()
-			for i := range next {
-				t, err := oracles[i].MinTree(d)
-				if err != nil {
-					out[i] = mostResult{err: err}
-					continue
-				}
-				out[i] = mostResult{tree: t, len: t.LengthUnder(d)}
+			sc := overlay.NewScratch(g)
+			for i := range r.jobs {
+				r.eval(i, sc)
+				r.wg.Done()
 			}
 		}()
 	}
-	for i := 0; i < k; i++ {
-		next <- i
+	return r
+}
+
+// eval computes oracle i's tree into the output slot.
+func (r *mostRunner) eval(i int, sc *overlay.Scratch) {
+	t, err := overlay.MinTreeWith(r.oracles[i], r.d, sc)
+	if err != nil {
+		r.out[i] = mostResult{err: err}
+		return
 	}
-	close(next)
-	wg.Wait()
-	return out
+	r.out[i] = mostResult{tree: t, len: t.LengthUnder(r.d)}
+}
+
+// compute evaluates all oracles under d. The returned slice is reused across
+// calls — consume it before the next compute.
+func (r *mostRunner) compute(d graph.Lengths) []mostResult {
+	r.d = d
+	if r.workers == 1 {
+		for i := range r.oracles {
+			r.eval(i, r.seq)
+		}
+		return r.out
+	}
+	r.wg.Add(len(r.oracles))
+	for i := range r.oracles {
+		r.jobs <- i
+	}
+	r.wg.Wait()
+	return r.out
+}
+
+// close releases the worker pool. The runner must not be used afterwards.
+func (r *mostRunner) close() {
+	if r.jobs != nil {
+		close(r.jobs)
+		r.jobs = nil
+	}
 }
 
 // parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS workers and blocks

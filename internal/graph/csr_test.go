@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"testing"
+
+	"overcast/internal/rng"
+)
+
+// buildRandom constructs a random simple graph on n nodes with ~density
+// probability per pair, via the Builder (exercising the CSR build path).
+func buildRandom(t *testing.T, r *rng.RNG, n int, density float64) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < density {
+				if err := b.AddEdge(u, v, 1+r.Float64()*99); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// referenceAdj recomputes adjacency, degree, and the edge index directly from
+// the Edges slice — the pre-CSR representation — for equivalence checking.
+func referenceAdj(g *Graph) (adj [][]EdgeID, index map[[2]NodeID]EdgeID) {
+	adj = make([][]EdgeID, g.NumNodes())
+	index = make(map[[2]NodeID]EdgeID, g.NumEdges())
+	for id, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], id)
+		adj[e.V] = append(adj[e.V], id)
+		index[[2]NodeID{e.U, e.V}] = id
+	}
+	return adj, index
+}
+
+// TestCSREquivalence asserts that the CSR accessors (Adj, Neighbors, Degree,
+// EdgeBetween) agree with a straightforward adjacency-list + map layout on
+// random graphs of varied size and density, including edgeless and isolated
+// nodes.
+func TestCSREquivalence(t *testing.T) {
+	r := rng.New(42)
+	cases := []struct {
+		n       int
+		density float64
+	}{
+		{1, 0}, {2, 0}, {2, 1}, {5, 0.3}, {16, 0.1}, {16, 0.9}, {40, 0.05}, {40, 0.5}, {80, 0.02},
+	}
+	for ci, tc := range cases {
+		g := buildRandom(t, r.Split(uint64(ci)), tc.n, tc.density)
+		adj, index := referenceAdj(g)
+		for v := 0; v < tc.n; v++ {
+			if got, want := g.Degree(v), len(adj[v]); got != want {
+				t.Fatalf("case %d: Degree(%d) = %d, want %d", ci, v, got, want)
+			}
+			got := g.Adj(v)
+			if len(got) != len(adj[v]) {
+				t.Fatalf("case %d: Adj(%d) = %v, want %v", ci, v, got, adj[v])
+			}
+			ids, tos := g.Neighbors(v)
+			for k := range adj[v] {
+				if got[k] != adj[v][k] {
+					t.Fatalf("case %d: Adj(%d)[%d] = %d, want %d", ci, v, k, got[k], adj[v][k])
+				}
+				if ids[k] != adj[v][k] {
+					t.Fatalf("case %d: Neighbors(%d) ids[%d] = %d, want %d", ci, v, k, ids[k], adj[v][k])
+				}
+				if want := g.Edges[adj[v][k]].Other(v); tos[k] != want {
+					t.Fatalf("case %d: Neighbors(%d) tos[%d] = %d, want %d", ci, v, k, tos[k], want)
+				}
+			}
+		}
+		for u := 0; u < tc.n; u++ {
+			for v := 0; v < tc.n; v++ {
+				if u == v {
+					continue
+				}
+				key := [2]NodeID{u, v}
+				if u > v {
+					key = [2]NodeID{v, u}
+				}
+				wantID, wantOK := index[key]
+				gotID, gotOK := g.EdgeBetween(u, v)
+				if gotOK != wantOK || (gotOK && gotID != wantID) {
+					t.Fatalf("case %d: EdgeBetween(%d,%d) = %d,%v want %d,%v", ci, u, v, gotID, gotOK, wantID, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestCSRAdjOrderIsEdgeIDOrder pins the deterministic neighbour scan order
+// every algorithm's tie-breaking relies on: incident edges appear in
+// ascending EdgeID order.
+func TestCSRAdjOrderIsEdgeIDOrder(t *testing.T) {
+	g := buildRandom(t, rng.New(7), 30, 0.3)
+	for v := 0; v < g.NumNodes(); v++ {
+		adj := g.Adj(v)
+		for k := 1; k < len(adj); k++ {
+			if adj[k-1] >= adj[k] {
+				t.Fatalf("Adj(%d) not in ascending EdgeID order: %v", v, adj)
+			}
+		}
+	}
+}
+
+// TestEdgeBetweenAllocs pins the edge lookup as allocation-free (it was a
+// map probe before the CSR refactor; now a binary search).
+func TestEdgeBetweenAllocs(t *testing.T) {
+	g := buildRandom(t, rng.New(9), 50, 0.2)
+	if g.NumEdges() == 0 {
+		t.Skip("no edges")
+	}
+	e := g.Edges[g.NumEdges()/2]
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := g.EdgeBetween(e.U, e.V); !ok {
+			t.Fatal("edge vanished")
+		}
+		if _, ok := g.EdgeBetween(e.V, e.U); !ok {
+			t.Fatal("edge vanished reversed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EdgeBetween allocates %v per run, want 0", allocs)
+	}
+}

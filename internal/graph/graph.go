@@ -40,13 +40,29 @@ func (e Edge) Other(n NodeID) NodeID {
 // once via NewBuilder/AddEdge/Build and is immutable afterwards; algorithms
 // keep their own per-edge state (lengths, flows) in parallel slices indexed
 // by EdgeID.
+//
+// Adjacency is a flat CSR (compressed sparse row) layout: incident edge ids
+// and opposite endpoints for node v occupy slots offsets[v]..offsets[v+1] of
+// two parallel arrays. Compared to per-node slices plus a map edge index,
+// this keeps the Dijkstra/BFS/Prim inner loops on contiguous memory with no
+// pointer chasing and makes edge lookup an allocation-free binary search.
 type Graph struct {
 	n     int
 	Edges []Edge
-	// adj[v] lists the edges incident to v.
-	adj [][]EdgeID
-	// index maps an endpoint pair (min,max) to its EdgeID.
-	index map[[2]NodeID]EdgeID
+	// offsets has n+1 entries; node v's incident slots are
+	// [offsets[v], offsets[v+1]).
+	offsets []int
+	// incident holds the edge ids of each node's slots, in ascending EdgeID
+	// order within a node (the deterministic scan order every algorithm
+	// relies on for tie-breaking).
+	incident []EdgeID
+	// adjTo[i] is the endpoint opposite to the owning node for slot i,
+	// parallel to incident; it saves the Edge.Other branch on hot paths.
+	adjTo []NodeID
+	// uStart has n+1 entries; edges with U==u occupy Edges[uStart[u]:
+	// uStart[u+1]] (Edges are sorted by (U,V)), enabling binary-search
+	// EdgeBetween.
+	uStart []int
 }
 
 // NumNodes returns |V|.
@@ -55,20 +71,46 @@ func (g *Graph) NumNodes() int { return g.n }
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return len(g.Edges) }
 
-// Adj returns the edges incident to v. The returned slice must not be
-// modified.
-func (g *Graph) Adj(v NodeID) []EdgeID { return g.adj[v] }
+// Adj returns the edges incident to v in ascending EdgeID order. The
+// returned slice aliases the graph's CSR storage and must not be modified.
+func (g *Graph) Adj(v NodeID) []EdgeID {
+	return g.incident[g.offsets[v]:g.offsets[v+1]:g.offsets[v+1]]
+}
+
+// Neighbors returns, for node v, the incident edge ids and the parallel
+// slice of opposite endpoints (Neighbors(v)[1][i] is the node reached via
+// edge Neighbors(v)[0][i]). Both slices alias CSR storage and must not be
+// modified; iteration order matches Adj.
+func (g *Graph) Neighbors(v NodeID) ([]EdgeID, []NodeID) {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.incident[lo:hi:hi], g.adjTo[lo:hi:hi]
+}
 
 // Degree returns the number of edges incident to v.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int { return g.offsets[v+1] - g.offsets[v] }
 
-// EdgeBetween returns the edge joining u and v, if one exists.
+// EdgeBetween returns the edge joining u and v, if one exists. It is a
+// binary search over u's sorted edge range — O(log deg), no allocation.
 func (g *Graph) EdgeBetween(u, v NodeID) (EdgeID, bool) {
 	if u > v {
 		u, v = v, u
 	}
-	id, ok := g.index[[2]NodeID{u, v}]
-	return id, ok
+	if u < 0 || v >= g.n {
+		return 0, false
+	}
+	lo, hi := g.uStart[u], g.uStart[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.Edges[mid].V < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < g.uStart[u+1] && g.Edges[lo].V == v {
+		return lo, true
+	}
+	return 0, false
 }
 
 // MinCapacity returns the smallest edge capacity, or 0 for an edgeless graph.
@@ -107,8 +149,8 @@ func (g *Graph) Connected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, id := range g.adj[v] {
-			w := g.Edges[id].Other(v)
+		_, tos := g.Neighbors(v)
+		for _, w := range tos {
 			if !seen[w] {
 				seen[w] = true
 				count++
@@ -172,9 +214,10 @@ func (b *Builder) HasEdge(u, v NodeID) bool {
 // NumEdges returns the number of edges added so far.
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
-// Build finalizes the graph. Edges are sorted by endpoints so that EdgeIDs
-// are a deterministic function of the edge set, independent of insertion
-// order.
+// Build finalizes the graph into its CSR form. Edges are sorted by endpoints
+// so that EdgeIDs are a deterministic function of the edge set, independent
+// of insertion order; each node's incident slots are filled in ascending
+// EdgeID order, preserving the deterministic neighbour scan order.
 func (b *Builder) Build() *Graph {
 	edges := append([]Edge(nil), b.edges...)
 	sort.Slice(edges, func(i, j int) bool {
@@ -183,16 +226,37 @@ func (b *Builder) Build() *Graph {
 		}
 		return edges[i].V < edges[j].V
 	})
+	m := len(edges)
 	g := &Graph{
-		n:     b.n,
-		Edges: edges,
-		adj:   make([][]EdgeID, b.n),
-		index: make(map[[2]NodeID]EdgeID, len(edges)),
+		n:        b.n,
+		Edges:    edges,
+		offsets:  make([]int, b.n+1),
+		incident: make([]EdgeID, 2*m),
+		adjTo:    make([]NodeID, 2*m),
+		uStart:   make([]int, b.n+1),
+	}
+	// Degree counting pass, then prefix sums.
+	for _, e := range edges {
+		g.offsets[e.U+1]++
+		g.offsets[e.V+1]++
+		g.uStart[e.U+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.offsets[v+1] += g.offsets[v]
+		g.uStart[v+1] += g.uStart[v]
+	}
+	// Fill pass in EdgeID order; cursor starts at each node's offset.
+	cursor := make([]int, b.n)
+	for v := range cursor {
+		cursor[v] = g.offsets[v]
 	}
 	for id, e := range edges {
-		g.adj[e.U] = append(g.adj[e.U], id)
-		g.adj[e.V] = append(g.adj[e.V], id)
-		g.index[[2]NodeID{e.U, e.V}] = id
+		g.incident[cursor[e.U]] = id
+		g.adjTo[cursor[e.U]] = e.V
+		cursor[e.U]++
+		g.incident[cursor[e.V]] = id
+		g.adjTo[cursor[e.V]] = e.U
+		cursor[e.V]++
 	}
 	return g
 }

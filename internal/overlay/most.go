@@ -21,6 +21,27 @@ type TreeOracle interface {
 	MaxRouteHops() int
 }
 
+// ScratchOracle is implemented by oracles that can run MinTree against
+// caller-pooled scratch state, avoiding per-call allocation. Both built-in
+// oracles implement it; the solvers thread one Scratch per worker through
+// their iteration loops.
+type ScratchOracle interface {
+	TreeOracle
+	// MinTreeWith is MinTree reusing sc's buffers. The returned tree does
+	// not alias sc and stays valid across further calls.
+	MinTreeWith(d graph.Lengths, sc *Scratch) (*Tree, error)
+}
+
+// MinTreeWith evaluates o's minimum tree under d, reusing sc when the oracle
+// supports scratch state (falling back to plain MinTree otherwise). sc may
+// serve many oracles over the same graph, one call at a time.
+func MinTreeWith(o TreeOracle, d graph.Lengths, sc *Scratch) (*Tree, error) {
+	if so, ok := o.(ScratchOracle); ok && sc != nil {
+		return so.MinTreeWith(d, sc)
+	}
+	return o.MinTree(d)
+}
+
 // primComplete runs Prim's algorithm over the complete graph on n vertices
 // with the given symmetric weight function, rooted at vertex 0, returning
 // the tree's vertex-pair edges. O(n^2), which is optimal for dense graphs.
@@ -108,24 +129,34 @@ func (o *FixedOracle) Route(i, j int) routing.Path { return o.routes[i][j] }
 // MinTree implements TreeOracle: Prim over the overlay complete graph where
 // the weight of overlay edge (i,j) is the d-length of the fixed route.
 func (o *FixedOracle) MinTree(d graph.Lengths) (*Tree, error) {
+	return o.MinTreeWith(d, NewScratch(o.g))
+}
+
+// MinTreeWith implements ScratchOracle.
+func (o *FixedOracle) MinTreeWith(d graph.Lengths, sc *Scratch) (*Tree, error) {
 	n := o.session.Size()
 	// Precompute pairwise route lengths under d.
-	w := make([][]float64, n)
-	for i := range w {
-		w[i] = make([]float64, n)
-	}
+	w := sc.weights(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			l := d.PathLength(o.routes[i][j].Edges)
-			w[i][j], w[j][i] = l, l
+			w[i*n+j], w[j*n+i] = l, l
 		}
 	}
-	pairs := primComplete(n, func(i, j int) float64 { return w[i][j] })
-	routes := make([]routing.Path, len(pairs))
-	for k, p := range pairs {
-		routes[k] = o.routes[p[0]][p[1]]
+	raw := primInto(sc, n, func(i, j int) float64 { return w[i*n+j] })
+	// Normalize pairs to i<j up front: o.routes[i][j] is already oriented
+	// i -> j, so no route reversal is needed.
+	pairs := make([][2]int, len(raw))
+	routes := make([]routing.Path, len(raw))
+	for k, p := range raw {
+		i, j := p[0], p[1]
+		if i > j {
+			i, j = j, i
+		}
+		pairs[k] = [2]int{i, j}
+		routes[k] = o.routes[i][j]
 	}
-	return NewTree(o.session.ID, pairs, routes), nil
+	return newSortedTree(sc, o.session.ID, pairs, routes), nil
 }
 
 // ArbitraryOracle is the Sec. V oracle: overlay edges follow the *shortest*
@@ -162,13 +193,16 @@ func (o *ArbitraryOracle) MaxRouteHops() int { return o.maxHops }
 // overlay pair (i,j) is read from the Dijkstra tree rooted at the
 // smaller-indexed member, so the choice is deterministic.
 func (o *ArbitraryOracle) MinTree(d graph.Lengths) (*Tree, error) {
+	return o.MinTreeWith(d, NewScratch(o.g))
+}
+
+// MinTreeWith implements ScratchOracle.
+func (o *ArbitraryOracle) MinTreeWith(d graph.Lengths, sc *Scratch) (*Tree, error) {
 	n := o.session.Size()
-	dists := make([][]float64, n)
-	parents := make([][]graph.EdgeID, n)
+	dists, parents := sc.memberTrees(n)
+	sp := sc.dijkstra()
 	for i := 0; i < n; i++ {
-		dist, parent := routing.ShortestPaths(o.g, o.session.Members[i], d)
-		dists[i] = dist
-		parents[i] = parent
+		sp.ShortestPathsInto(o.g, o.session.Members[i], d, dists[i], parents[i])
 	}
 	weight := func(i, j int) float64 {
 		if i > j {
@@ -176,23 +210,22 @@ func (o *ArbitraryOracle) MinTree(d graph.Lengths) (*Tree, error) {
 		}
 		return dists[i][o.session.Members[j]]
 	}
-	pairs := primComplete(n, weight)
-	routes := make([]routing.Path, len(pairs))
-	for k, p := range pairs {
+	raw := primInto(sc, n, weight)
+	// Normalize pairs to i<j up front; the route is extracted from the
+	// smaller member's Dijkstra tree, already oriented i -> j.
+	pairs := make([][2]int, len(raw))
+	routes := make([]routing.Path, len(raw))
+	for k, p := range raw {
 		i, j := p[0], p[1]
-		flip := false
 		if i > j {
 			i, j = j, i
-			flip = true
 		}
 		r, err := routing.DijkstraRoute(o.g, o.session.Members[i], o.session.Members[j], parents[i])
 		if err != nil {
 			return nil, fmt.Errorf("overlay: session %d dynamic route %d-%d: %w", o.session.ID, i, j, err)
 		}
-		if flip {
-			r = r.Reverse()
-		}
+		pairs[k] = [2]int{i, j}
 		routes[k] = r
 	}
-	return NewTree(o.session.ID, pairs, routes), nil
+	return newSortedTree(sc, o.session.ID, pairs, routes), nil
 }

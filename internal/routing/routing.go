@@ -180,8 +180,9 @@ func bfs(g *graph.Graph, s graph.NodeID) ([]graph.EdgeID, []int) {
 	queue = append(queue, s)
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, id := range g.Adj(v) {
-			w := g.Edges[id].Other(v)
+		ids, tos := g.Neighbors(v)
+		for k, id := range ids {
+			w := tos[k]
 			if hops[w] < 0 {
 				hops[w] = hops[v] + 1
 				parent[w] = id
@@ -275,29 +276,61 @@ func (t *IPRoutes) MaxHops(endpoints []graph.NodeID) int {
 	return max
 }
 
-// ShortestPaths runs Dijkstra from src under the length function d and
-// returns, for every node, the distance and the parent edge on a shortest
-// path tree (deterministic tie-breaks by heap order). Used by the
-// arbitrary-routing variants (Sec. V-B).
-func ShortestPaths(g *graph.Graph, src graph.NodeID, d graph.Lengths) (dist []float64, parent []graph.EdgeID) {
+// DijkstraScratch is reusable Dijkstra state for one graph: the indexed heap
+// plus default distance/parent arrays. A scratch eliminates the three O(n)
+// allocations every ShortestPaths call would otherwise make — the hot-path
+// cost of the arbitrary-routing oracles, which run one Dijkstra per session
+// member per Garg–Könemann iteration. A scratch is not safe for concurrent
+// use; pool one per worker.
+type DijkstraScratch struct {
+	heap   *graph.IndexedHeap
+	dist   []float64
+	parent []graph.EdgeID
+}
+
+// NewDijkstraScratch sizes a scratch for g.
+func NewDijkstraScratch(g *graph.Graph) *DijkstraScratch {
 	n := g.NumNodes()
-	dist = make([]float64, n)
-	parent = make([]graph.EdgeID, n)
+	return &DijkstraScratch{
+		heap:   graph.NewIndexedHeap(n),
+		dist:   make([]float64, n),
+		parent: make([]graph.EdgeID, n),
+	}
+}
+
+// ShortestPaths runs Dijkstra from src under d, reusing the scratch's own
+// arrays. The returned slices are valid until the next call on this scratch.
+func (sc *DijkstraScratch) ShortestPaths(g *graph.Graph, src graph.NodeID, d graph.Lengths) (dist []float64, parent []graph.EdgeID) {
+	sc.ShortestPathsInto(g, src, d, sc.dist, sc.parent)
+	return sc.dist, sc.parent
+}
+
+// ShortestPathsInto runs Dijkstra from src under d, writing distances and
+// parent edges into the caller-supplied slices (each of length g.NumNodes()).
+// It allocates nothing: the heap is reused across calls and dist/parent are
+// fully overwritten. Tie-breaking is identical to ShortestPaths.
+func (sc *DijkstraScratch) ShortestPathsInto(g *graph.Graph, src graph.NodeID, d graph.Lengths, dist []float64, parent []graph.EdgeID) {
+	n := g.NumNodes()
+	if len(dist) != n || len(parent) != n {
+		panic("routing: DijkstraScratch slice size mismatch")
+	}
 	const inf = 1e308
 	for i := range dist {
 		dist[i] = inf
 		parent[i] = -1
 	}
 	dist[src] = 0
-	h := graph.NewIndexedHeap(n)
+	h := sc.heap
+	h.Reset()
 	h.Push(src, 0)
 	for h.Len() > 0 {
 		v, dv := h.Pop()
 		if dv > dist[v] {
 			continue
 		}
-		for _, id := range g.Adj(v) {
-			w := g.Edges[id].Other(v)
+		ids, tos := g.Neighbors(v)
+		for k, id := range ids {
+			w := tos[k]
 			nd := dv + d[id]
 			if nd < dist[w] {
 				dist[w] = nd
@@ -306,6 +339,19 @@ func ShortestPaths(g *graph.Graph, src graph.NodeID, d graph.Lengths) (dist []fl
 			}
 		}
 	}
+}
+
+// ShortestPaths runs Dijkstra from src under the length function d and
+// returns, for every node, the distance and the parent edge on a shortest
+// path tree (deterministic tie-breaks by heap order). Used by the
+// arbitrary-routing variants (Sec. V-B). It allocates fresh state per call;
+// iterative callers should hold a DijkstraScratch instead.
+func ShortestPaths(g *graph.Graph, src graph.NodeID, d graph.Lengths) (dist []float64, parent []graph.EdgeID) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	parent = make([]graph.EdgeID, n)
+	sc := &DijkstraScratch{heap: graph.NewIndexedHeap(n)}
+	sc.ShortestPathsInto(g, src, d, dist, parent)
 	return dist, parent
 }
 
