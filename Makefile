@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race fmt fmt-check vet bench bench-smoke bench-scale clean
+# Extra flags for bench-scale (e.g. BENCHFLAGS="-short -benchtime 1x" for the
+# CI trajectory run).
+BENCHFLAGS ?=
+
+.PHONY: all build test race fmt fmt-check vet bench bench-smoke bench-scale bench-scale-json clean
 
 all: build test
 
@@ -30,10 +34,21 @@ bench:
 bench-smoke:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
 
-# Large-instance scale tier only (1,000-10,000 nodes; takes minutes).
+# Large-instance scale tier: solver benches (1,000-10,000 nodes, per-scenario
+# instances) plus the Waxman topology-generation benches. Takes minutes at
+# default -benchtime; CI passes BENCHFLAGS="-short -benchtime 1x".
 bench-scale:
-	$(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem -timeout 3600s .
+	$(GO) test -run '^$$' -bench 'BenchmarkScale|BenchmarkWaxman' -benchmem -timeout 3600s $(BENCHFLAGS) . ./internal/topology/
+
+# Refresh the committed perf-trajectory baseline: run the scale tier the way
+# CI does, rewrite BENCH_scale.json, and print the old-vs-new comparison.
+# The bench run writes to a file (no tee pipe) so a failing benchmark aborts
+# the recipe instead of overwriting the baseline with partial results.
+bench-scale-json:
+	$(MAKE) bench-scale BENCHFLAGS="-short -benchtime 1x" > bench-scale.txt || { cat bench-scale.txt; exit 1; }
+	cat bench-scale.txt
+	$(GO) run ./cmd/benchjson -in bench-scale.txt -out BENCH_scale.json -compare BENCH_scale.json
 
 clean:
 	$(GO) clean ./...
-	rm -f *.test *.prof *.out bench-smoke.txt
+	rm -f *.test *.prof *.out bench-smoke.txt bench-scale.txt

@@ -458,6 +458,47 @@ func BenchmarkScaleMOSTArbitrary(b *testing.B) {
 	}
 }
 
+// benchScaleScenario solves MCF on a 1,000-node grid-Waxman instance of one
+// named workload scenario (heterogeneous capacities/demands, session-size
+// mixes; see internal/workload).
+func benchScaleScenario(b *testing.B, scenario string) {
+	b.Helper()
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: 1000, Sessions: 32, Scenario: scenario})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := si.MCF(0.3, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Lambda <= 0 {
+			b.Fatalf("lambda %v", res.Lambda)
+		}
+	}
+}
+
+// BenchmarkScaleScenarioUniform is the scenario-tier baseline: same
+// distributions as the paper (uniform capacity 100), but generated via the
+// grid Waxman sampler.
+func BenchmarkScaleScenarioUniform(b *testing.B) { benchScaleScenario(b, "uniform") }
+
+// BenchmarkScaleScenarioHeavytail stresses heterogeneous capacity: Pareto
+// link capacities and lognormal demands.
+func BenchmarkScaleScenarioHeavytail(b *testing.B) { benchScaleScenario(b, "heavytail") }
+
+// BenchmarkScaleScenarioCDN is the session-mix scenario: bimodal session
+// sizes with Zipf node popularity over a very heavy capacity tail.
+func BenchmarkScaleScenarioCDN(b *testing.B) { benchScaleScenario(b, "cdn") }
+
+// BenchmarkScaleScenarioLivestream has few huge multicast groups — the
+// heaviest oracle regime — so it skips under -short.
+func BenchmarkScaleScenarioLivestream(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy scale benchmark skipped in -short mode")
+	}
+	benchScaleScenario(b, "livestream")
+}
+
 // BenchmarkScaleDijkstra isolates the shortest-path primitive on a
 // 10,000-node topology (the largest tier instance).
 func BenchmarkScaleDijkstra(b *testing.B) {

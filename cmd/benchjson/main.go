@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document (benchmark name -> ns/op, B/op, allocs/op) and optionally
+// compares it against a previous document, so CI can upload every run's
+// numbers as an artifact and print the perf trajectory against the
+// committed baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkScale -benchmem ./... | \
+//	    go run ./cmd/benchjson -out BENCH_scale.json -compare BENCH_scale.json
+//
+// With -compare, the previous file is read before -out is written, so the
+// two flags may name the same path (the local "update the committed
+// baseline" workflow). The comparison is informational: regressions are
+// printed, not fatal, because shared CI runners are too noisy for a hard
+// gate; the committed baseline gives reviewers the trajectory instead.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's figures. Zero-valued fields were absent from
+// the input (e.g. no -benchmem).
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the BENCH_*.json schema.
+type Document struct {
+	Schema     string            `json:"schema"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// cpuSuffix strips the trailing GOMAXPROCS marker (`-8`) benchmark names
+// carry, so documents from machines with different core counts compare.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	compare := flag.String("compare", "", "previous JSON document to diff against (missing file = no comparison)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	doc, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	var prev *Document
+	if *compare != "" {
+		if data, err := os.ReadFile(*compare); err == nil {
+			prev = &Document{}
+			if err := json.Unmarshal(data, prev); err != nil {
+				fatal(fmt.Errorf("parse %s: %w", *compare, err))
+			}
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if prev != nil {
+		printComparison(os.Stdout, prev, doc)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse extracts `BenchmarkName-N  iters  1234 ns/op [5678 B/op 9 allocs/op]`
+// lines, ignoring everything else (goos/pkg headers, PASS, test log output).
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Schema: "overcast-bench/v1", Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp, ok = v, true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		doc.Benchmarks[name] = res
+	}
+	return doc, sc.Err()
+}
+
+// printComparison renders the old-vs-new trajectory, sorted by name, with
+// adds/removes called out.
+func printComparison(w io.Writer, prev, cur *Document) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%-38s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, name := range names {
+		nr := cur.Benchmarks[name]
+		or, had := prev.Benchmarks[name]
+		if !had {
+			fmt.Fprintf(w, "%-38s %14s %14.0f %8s %12.0f\n", name, "(new)", nr.NsPerOp, "", nr.AllocsPerOp)
+			continue
+		}
+		delta := "n/a"
+		if or.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nr.NsPerOp-or.NsPerOp)/or.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-38s %14.0f %14.0f %8s %12.0f\n", name, or.NsPerOp, nr.NsPerOp, delta, nr.AllocsPerOp)
+	}
+	var absent []string
+	for name := range prev.Benchmarks {
+		if _, still := cur.Benchmarks[name]; !still {
+			absent = append(absent, name)
+		}
+	}
+	sort.Strings(absent)
+	for _, name := range absent {
+		fmt.Fprintf(w, "%-38s (absent from this run)\n", name)
+	}
+}

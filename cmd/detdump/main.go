@@ -1,6 +1,12 @@
 // Command detdump prints a full-precision fingerprint of solver outputs on
 // deterministic instances, used to verify that refactors keep solutions
-// bit-identical for fixed seeds.
+// bit-identical for fixed seeds. The CI determinism gate runs it twice and
+// diffs the output; perf refactors additionally diff it against the dump
+// from the pre-change tree.
+//
+// The fingerprint covers the paper's Setting-A instances under both routing
+// modes and, since the scenario engine landed, grid-Waxman workload-scenario
+// instances (heterogeneous capacities/demands, Zipf membership).
 package main
 
 import (
@@ -54,6 +60,35 @@ func main() {
 		for j := range tl.MaxTrees {
 			fmt.Printf("arb=%v treelimit[%d] rnd=%.17g online=%.17g\n",
 				arb, j, tl.Random[j].Throughput, tl.Online[30][j].Throughput)
+		}
+	}
+
+	for _, scenario := range []string{"heavytail", "cdn"} {
+		si, err := experiments.NewScaleInstance(2026, experiments.ScaleConfig{
+			Nodes: 300, Sessions: 10, Scenario: scenario,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("scenario=%s edges=%d caps=%.17g\n",
+			scenario, si.Net.Graph.NumEdges(), si.Net.Graph.TotalCapacity())
+		mcf, err := si.MCF(0.3, true)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("scenario=%s mcf lambda=%.17g mstops=%d\n", scenario, mcf.Lambda, mcf.MSTOps)
+		for i := range si.Sessions {
+			fmt.Printf("  rate[%d]=%.17g trees=%d\n", i, mcf.SessionRate(i), mcf.TreeCount(i))
+		}
+		mf, err := si.MaxFlow(0.3, true)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("scenario=%s maxflow thpt=%.17g mstops=%d\n", scenario, mf.OverallThroughput(), mf.MSTOps)
+		for e, u := range mf.Utilizations() {
+			if e%37 == 0 {
+				fmt.Printf("  util[%d]=%.17g\n", e, u)
+			}
 		}
 	}
 }

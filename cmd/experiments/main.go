@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-scale small|paper|large] [-seed N] [-trials N] [-maxpts N]
-//	            [-nodes N -sessions K -sessionsize S] [exp ...]
+//	            [-nodes N -sessions K -sessionsize S] [-scenario names] [exp ...]
 //
 // where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
 // table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
@@ -20,6 +20,17 @@
 // competing sessions under both routing models (minutes to hours). The
 // "scale" experiment honours -nodes/-sessions/-sessionsize to solve one
 // custom instance instead of the built-in suite.
+//
+// -scenario selects named workload scenarios for the scale tier
+// (comma-separated; "all" sweeps every registered scenario, "list" prints
+// the catalogue): heterogeneous capacity/demand distributions and session
+// mixes from internal/workload, generated on the grid-accelerated Waxman
+// topology. For example:
+//
+//	experiments -scenario list
+//	experiments -scenario heavytail scale
+//	experiments -scale large -scenario livestream,cdn scale
+//	experiments -scenario cdn -nodes 5000 -sessions 128 scale
 package main
 
 import (
@@ -27,10 +38,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"overcast/internal/experiments"
 	"overcast/internal/stats"
+	"overcast/internal/workload"
 )
 
 func main() {
@@ -41,11 +54,22 @@ func main() {
 	nodes := flag.Int("nodes", 0, "scale experiment: custom topology size (0 = built-in suite)")
 	sessions := flag.Int("sessions", 64, "scale experiment: custom session count")
 	sessionSize := flag.Int("sessionsize", 6, "scale experiment: custom members per session")
+	scenario := flag.String("scenario", "", "scale experiment: workload scenarios, comma-separated (all | list | names)")
 	flag.Parse()
+
+	if *scenario == "list" {
+		fmt.Println("Registered workload scenarios:")
+		for _, name := range workload.Names() {
+			sc, _ := workload.Get(name)
+			fmt.Printf("  %-13s %s\n                (%s; capacity %v, demand %v, %v, popularity s=%g)\n",
+				name, sc.Description, sc.Regime, sc.Capacity, sc.Demand, sc.Size, sc.PopularityExp)
+		}
+		return
+	}
 
 	exps := flag.Args()
 	if len(exps) == 0 {
-		if *scale == "large" {
+		if *scale == "large" || *scenario != "" {
 			exps = []string{"scale"}
 		} else {
 			exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
@@ -59,7 +83,12 @@ func main() {
 	}
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
-		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize}
+		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize, scenario: *scenario}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sessionsize" {
+			r.sessionSizeSet = true
+		}
+	})
 	for _, e := range exps {
 		start := time.Now()
 		if err := r.run(e); err != nil {
@@ -71,16 +100,40 @@ func main() {
 }
 
 type runner struct {
-	scale       string
-	seed        uint64
-	trials      int
-	maxpts      int
-	nodes       int
-	sessions    int
-	sessionSize int
+	scale          string
+	seed           uint64
+	trials         int
+	maxpts         int
+	nodes          int
+	sessions       int
+	sessionSize    int
+	sessionSizeSet bool // -sessionsize given explicitly (conflicts with -scenario)
+	scenario       string
 
 	settingA *experiments.SettingA
 	settingB *experiments.SettingB
+}
+
+// scenarioNames resolves the -scenario flag into registry names (nil, from
+// "all", means every registered scenario). Whitespace and empty entries
+// from stray commas are dropped, so "cdn," cannot silently select the
+// legacy empty-scenario construction; a value that is nothing but
+// separators is an error, not a full-registry sweep.
+func (r *runner) scenarioNames() ([]string, error) {
+	if r.scenario == "all" {
+		return nil, nil
+	}
+	var names []string
+	for _, name := range strings.Split(r.scenario, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-scenario %q names no scenario (have all | %s)",
+			r.scenario, strings.Join(workload.Names(), " | "))
+	}
+	return names, nil
 }
 
 func (r *runner) ratios() []float64 {
@@ -334,15 +387,48 @@ func (r *runner) run(exp string) error {
 			}
 		}
 	case "scale":
-		cfgs := experiments.SmallScaleSuite()
-		if r.scale == "paper" || r.scale == "large" {
-			cfgs = experiments.DefaultScaleSuite()
-		}
-		if r.nodes > 0 {
+		var cfgs []experiments.ScaleConfig
+		switch {
+		case r.scenario != "":
+			names, err := r.scenarioNames()
+			if err != nil {
+				return err
+			}
+			if r.sessionSizeSet {
+				// Scenario session sizes come from the workload's size mix.
+				fmt.Fprintln(os.Stderr, "experiments: warning: -sessionsize is ignored with -scenario (the scenario's session-size mix applies)")
+			}
+			switch {
+			case r.nodes > 0:
+				if names == nil {
+					names = workload.Names()
+				}
+				for _, name := range names {
+					if _, err := workload.Get(name); err != nil {
+						return err
+					}
+					cfgs = append(cfgs,
+						experiments.ScaleConfig{Nodes: r.nodes, Sessions: r.sessions, Scenario: name},
+						experiments.ScaleConfig{Nodes: r.nodes, Sessions: r.sessions, Scenario: name, Arbitrary: true},
+					)
+				}
+			case r.scale == "paper" || r.scale == "large":
+				cfgs, err = experiments.ScenarioScaleSuite(names)
+			default:
+				cfgs, err = experiments.SmallScenarioSuite(names)
+			}
+			if err != nil {
+				return err
+			}
+		case r.nodes > 0:
 			cfgs = []experiments.ScaleConfig{
 				{Nodes: r.nodes, Sessions: r.sessions, SessionSize: r.sessionSize},
 				{Nodes: r.nodes, Sessions: r.sessions, SessionSize: r.sessionSize, Arbitrary: true},
 			}
+		case r.scale == "paper" || r.scale == "large":
+			cfgs = experiments.DefaultScaleSuite()
+		default:
+			cfgs = experiments.SmallScaleSuite()
 		}
 		rows, err := experiments.ScaleSuite(r.seed, 0.3, true, cfgs)
 		if err != nil {

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	topogen [-model waxman|ba|twolevel] [-nodes N] [-ases A] [-routers R]
-//	        [-capacity C] [-seed S] [-stats]
+//	topogen [-model waxman|gridwaxman|ba|twolevel] [-nodes N] [-ases A]
+//	        [-routers R] [-capacity C] [-scenario name] [-seed S] [-stats]
+//
+// -model gridwaxman uses the spatial-grid Waxman sampler, which generates
+// 10k-50k node topologies in seconds; -scenario overwrites the uniform
+// capacities with a named workload scenario's capacity distribution (see
+// `experiments -scenario list`).
 package main
 
 import (
@@ -17,14 +22,16 @@ import (
 
 	"overcast/internal/rng"
 	"overcast/internal/topology"
+	"overcast/internal/workload"
 )
 
 func main() {
-	model := flag.String("model", "waxman", "waxman | ba | twolevel")
-	nodes := flag.Int("nodes", 100, "node count (waxman/ba)")
+	model := flag.String("model", "waxman", "waxman | gridwaxman | ba | twolevel")
+	nodes := flag.Int("nodes", 100, "node count (waxman/gridwaxman/ba)")
 	ases := flag.Int("ases", 10, "AS count (twolevel)")
 	routers := flag.Int("routers", 100, "routers per AS (twolevel)")
 	capacity := flag.Float64("capacity", 100, "uniform link capacity")
+	scenario := flag.String("scenario", "", "sample link capacities from a named workload scenario")
 	seed := flag.Uint64("seed", 1, "generation seed")
 	statsOnly := flag.Bool("stats", false, "print summary statistics only")
 	flag.Parse()
@@ -33,6 +40,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
+	}
+	if *scenario != "" {
+		sc, err := workload.Get(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		sc.Capacities(net.Graph, rng.New(*seed).Split(1<<20))
 	}
 
 	if *statsOnly {
@@ -56,6 +71,10 @@ func generate(model string, nodes, ases, routers int, capacity float64, seed uin
 		cfg := topology.DefaultWaxman(nodes)
 		cfg.Capacity = capacity
 		return topology.Waxman(cfg, r)
+	case "gridwaxman":
+		cfg := topology.DefaultWaxman(nodes)
+		cfg.Capacity = capacity
+		return topology.WaxmanGrid(cfg, r)
 	case "ba":
 		return topology.BarabasiAlbert(nodes, 2, capacity, r)
 	case "twolevel":
@@ -82,7 +101,16 @@ func printStats(net *topology.Network) {
 	fmt.Printf("nodes:      %d\n", g.NumNodes())
 	fmt.Printf("edges:      %d\n", g.NumEdges())
 	fmt.Printf("connected:  %v\n", g.Connected())
-	fmt.Printf("capacity:   total %.0f, min %.0f\n", g.TotalCapacity(), g.MinCapacity())
+	if g.NumEdges() > 0 {
+		maxCap := 0.0
+		for _, e := range g.Edges {
+			if e.Capacity > maxCap {
+				maxCap = e.Capacity
+			}
+		}
+		fmt.Printf("capacity:   total %.0f, min %.0f, max %.0f, mean %.1f\n",
+			g.TotalCapacity(), g.MinCapacity(), maxCap, g.TotalCapacity()/float64(g.NumEdges()))
+	}
 	if len(degrees) > 0 {
 		fmt.Printf("degree:     min %d, median %d, max %d, mean %.2f\n",
 			degrees[0], degrees[len(degrees)/2], degrees[len(degrees)-1],

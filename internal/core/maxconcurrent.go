@@ -226,11 +226,11 @@ func addSurplus(p *Problem, sol *Solution, eps float64, parallel bool) error {
 	}
 	sol.MSTOps += extra.MSTOps
 	// Trees from the residual problem reference identical edge ids; merge.
-	acc := &flowAccumulator{sol: sol, index: make([]map[string]int, len(sol.Flows))}
+	acc := &flowAccumulator{sol: sol, index: make([]map[uint64]int, len(sol.Flows))}
 	for i := range acc.index {
-		acc.index[i] = make(map[string]int, len(sol.Flows[i]))
+		acc.index[i] = make(map[uint64]int, len(sol.Flows[i]))
 		for pos, tf := range sol.Flows[i] {
-			acc.index[i][tf.Tree.Key()] = pos
+			acc.index[i][tf.Tree.KeyHash()] = pos
 		}
 	}
 	for i, flows := range extra.Flows {

@@ -14,6 +14,7 @@ import (
 	"overcast/internal/overlay"
 	"overcast/internal/rng"
 	"overcast/internal/topology"
+	"overcast/internal/workload"
 )
 
 // ScaleConfig describes one large-instance scenario.
@@ -25,6 +26,13 @@ type ScaleConfig struct {
 	Capacity    float64 // uniform link capacity (default 100)
 	Demand      float64 // per-session demand (default 100)
 	Arbitrary   bool    // arbitrary dynamic routing instead of fixed IP
+	// Scenario selects a named workload scenario (see internal/workload).
+	// Empty keeps the legacy uniform construction — naive Waxman topology,
+	// uniform Capacity/Demand, fixed SessionSize — bit-identical to earlier
+	// releases for a given seed. Non-empty switches to the grid-accelerated
+	// Waxman generator and the scenario's capacity/demand/size/popularity
+	// distributions; SessionSize and Demand are then owned by the scenario.
+	Scenario string
 }
 
 func (c *ScaleConfig) normalize() error {
@@ -58,6 +66,9 @@ func (c ScaleConfig) Name() string {
 	if c.Arbitrary {
 		mode = "arb"
 	}
+	if c.Scenario != "" {
+		return fmt.Sprintf("%s_n%d_k%d_%s", c.Scenario, c.Nodes, c.Sessions, mode)
+	}
 	return fmt.Sprintf("n%d_k%d_s%d_%s", c.Nodes, c.Sessions, c.SessionSize, mode)
 }
 
@@ -70,10 +81,14 @@ type ScaleInstance struct {
 	Problem  *core.Problem
 }
 
-// NewScaleInstance builds a deterministic large instance: an incremental
-// Waxman topology and Sessions member sets sampled uniformly (sessions may
-// share nodes, members within a session are distinct). Fixed IP routes follow
-// BRITE propagation delays, matching Setting A.
+// NewScaleInstance builds a deterministic large instance. With no Scenario,
+// it is the legacy construction — a naive incremental Waxman topology and
+// Sessions member sets sampled uniformly (sessions may share nodes, members
+// within a session are distinct) — kept bit-identical for a given seed.
+// With a Scenario, the topology comes from the grid-accelerated Waxman
+// generator and the capacities, demands, session sizes, and member
+// popularity follow the named workload distributions. Either way, fixed IP
+// routes follow BRITE propagation delays, matching Setting A.
 func NewScaleInstance(seed uint64, cfg ScaleConfig) (*ScaleInstance, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -82,19 +97,35 @@ func NewScaleInstance(seed uint64, cfg ScaleConfig) (*ScaleInstance, error) {
 	wax := topology.DefaultWaxman(cfg.Nodes)
 	wax.M = cfg.Degree
 	wax.Capacity = cfg.Capacity
-	net, err := topology.Waxman(wax, r.Split(0))
-	if err != nil {
-		return nil, err
-	}
-	memberRNG := r.Split(1)
-	sessions := make([]*overlay.Session, cfg.Sessions)
-	for i := range sessions {
-		members := memberRNG.Split(uint64(i)).Sample(cfg.Nodes, cfg.SessionSize)
-		s, err := overlay.NewSession(i, members, cfg.Demand)
+	var net *topology.Network
+	var sessions []*overlay.Session
+	if cfg.Scenario != "" {
+		sc, err := workload.Get(cfg.Scenario)
 		if err != nil {
 			return nil, err
 		}
-		sessions[i] = s
+		if net, err = topology.WaxmanGrid(wax, r.Split(0)); err != nil {
+			return nil, err
+		}
+		sc.Capacities(net.Graph, r.Split(2))
+		if sessions, err = sc.Sessions(cfg.Nodes, cfg.Sessions, r.Split(1)); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if net, err = topology.Waxman(wax, r.Split(0)); err != nil {
+			return nil, err
+		}
+		memberRNG := r.Split(1)
+		sessions = make([]*overlay.Session, cfg.Sessions)
+		for i := range sessions {
+			members := memberRNG.Split(uint64(i)).Sample(cfg.Nodes, cfg.SessionSize)
+			s, err := overlay.NewSession(i, members, cfg.Demand)
+			if err != nil {
+				return nil, err
+			}
+			sessions[i] = s
+		}
 	}
 	mode := core.RoutingIP
 	if cfg.Arbitrary {
@@ -197,4 +228,43 @@ func SmallScaleSuite() []ScaleConfig {
 		{Nodes: 300, Sessions: 16, SessionSize: 5},
 		{Nodes: 300, Sessions: 16, SessionSize: 5, Arbitrary: true},
 	}
+}
+
+// ScenarioScaleSuite sweeps the named workload scenarios over the large
+// tier: every scenario at 2,000 x 64 under fixed routing, plus a 5,000 x 128
+// fixed instance and a 2,000 x 64 arbitrary-routing instance per scenario.
+// An empty scenario list means every registered scenario.
+func ScenarioScaleSuite(scenarios []string) ([]ScaleConfig, error) {
+	if len(scenarios) == 0 {
+		scenarios = workload.Names()
+	}
+	var cfgs []ScaleConfig
+	for _, name := range scenarios {
+		if _, err := workload.Get(name); err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs,
+			ScaleConfig{Nodes: 2000, Sessions: 64, Scenario: name},
+			ScaleConfig{Nodes: 2000, Sessions: 64, Scenario: name, Arbitrary: true},
+			ScaleConfig{Nodes: 5000, Sessions: 128, Scenario: name},
+		)
+	}
+	return cfgs, nil
+}
+
+// SmallScenarioSuite returns one quick fixed-routing instance per requested
+// scenario (all registered scenarios when the list is empty), for smoke runs
+// and the CI determinism gate.
+func SmallScenarioSuite(scenarios []string) ([]ScaleConfig, error) {
+	if len(scenarios) == 0 {
+		scenarios = workload.Names()
+	}
+	var cfgs []ScaleConfig
+	for _, name := range scenarios {
+		if _, err := workload.Get(name); err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, ScaleConfig{Nodes: 300, Sessions: 12, Scenario: name})
+	}
+	return cfgs, nil
 }

@@ -74,8 +74,10 @@ type Tree struct {
 	// from member Pairs[k][0] to member Pairs[k][1].
 	Routes []routing.Path
 
-	use []EdgeUse // lazily computed, sorted by Edge
-	key string    // lazily computed canonical key
+	use        []EdgeUse // lazily computed, sorted by Edge
+	key        string    // lazily computed canonical key
+	keyHash    uint64    // lazily computed canonical key digest
+	hasKeyHash bool
 }
 
 // NewTree builds a tree from overlay pairs and their routes, canonicalizing
@@ -156,6 +158,45 @@ func (t *Tree) Key() string {
 		t.key = sb.String()
 	}
 	return t.key
+}
+
+// FNV-1a, processing one uint64 as eight little-endian bytes.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// KeyHash returns a 64-bit FNV-1a digest of the same canonical identity
+// that Key renders: session id, then per overlay pair its member indices,
+// route hop count, and route edge ids. The integer sequence decodes
+// uniquely (hop counts delimit the variable-length routes), so two trees
+// share a KeyHash only on a genuine 2^-64 hash collision. Unlike Key it
+// allocates nothing, which is why the solver flow accumulators — the
+// per-iteration hot path — index trees by KeyHash.
+func (t *Tree) KeyHash() uint64 {
+	if !t.hasKeyHash {
+		h := fnvUint64(fnvOffset64, uint64(t.SessionID))
+		for k, p := range t.Pairs {
+			h = fnvUint64(h, uint64(p[0]))
+			h = fnvUint64(h, uint64(p[1]))
+			h = fnvUint64(h, uint64(len(t.Routes[k].Edges)))
+			for _, e := range t.Routes[k].Edges {
+				h = fnvUint64(h, uint64(e))
+			}
+		}
+		t.keyHash = h
+		t.hasKeyHash = true
+	}
+	return t.keyHash
 }
 
 // LengthUnder returns Σ_e n_e(t)·d_e, the (unnormalized) dual length of the

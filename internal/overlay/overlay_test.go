@@ -103,6 +103,65 @@ func TestTreeKeyCanonical(t *testing.T) {
 	}
 }
 
+// KeyHash must follow the same equivalence classes as the string Key: equal
+// across pair orderings of one tree, distinct across trees (up to genuine
+// 64-bit collisions, which these fixtures do not produce), and stable under
+// session re-stamping rules.
+func TestTreeKeyHash(t *testing.T) {
+	net, _ := topology.Complete(4, 10)
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 1, 2, 3}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	a := TreeFromPairs(o, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	b := TreeFromPairs(o, [][2]int{{3, 2}, {1, 0}, {2, 1}})
+	if a.KeyHash() != b.KeyHash() {
+		t.Fatal("same tree in different pair order has different key hashes")
+	}
+	c := TreeFromPairs(o, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	if a.KeyHash() == c.KeyHash() {
+		t.Fatal("different trees share a key hash")
+	}
+	// Same pairs/routes under another session id must hash differently,
+	// mirroring the session prefix in Key.
+	other := NewTree(1, a.Pairs, a.Routes)
+	if a.KeyHash() == other.KeyHash() {
+		t.Fatal("different sessions share a key hash")
+	}
+	// Memoization must return the same digest.
+	if a.KeyHash() != a.KeyHash() {
+		t.Fatal("KeyHash not stable")
+	}
+}
+
+// TestTreeKeyHashAllocs is the regression test for the hashed flow
+// accumulator key: computing a fresh KeyHash must not allocate, where the
+// string Key materializes a fresh key string per uncached call (the old
+// per-iteration cost in the solver accumulators).
+func TestTreeKeyHashAllocs(t *testing.T) {
+	net, err := topology.Waxman(topology.DefaultWaxman(64), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	s, _ := NewSession(0, []graph.NodeID{0, 7, 19, 33, 48, 61}, 1)
+	rt := routing.NewIPRoutes(g, s.Members)
+	o, _ := NewFixedOracle(g, rt, s)
+	tr, err := o.MinTree(graph.NewLengths(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.hasKeyHash = false // force a full recompute each run
+		if tr.KeyHash() == 0 {
+			t.Fatal("implausible zero hash")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("KeyHash allocates %v per fresh computation, want 0", allocs)
+	}
+}
+
 func TestTreeValidateRejections(t *testing.T) {
 	net, _ := topology.Complete(4, 10)
 	g := net.Graph

@@ -1,0 +1,200 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"overcast/internal/rng"
+)
+
+func edgeList(n *Network) [][2]int {
+	out := make([][2]int, 0, n.Graph.NumEdges())
+	for _, e := range n.Graph.Edges {
+		out = append(out, [2]int{e.U, e.V})
+	}
+	return out
+}
+
+func TestWaxmanGridDeterministic(t *testing.T) {
+	cfg := DefaultWaxman(400)
+	a, err := WaxmanGrid(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WaxmanGrid(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := edgeList(a), edgeList(b)
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ across runs: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs across runs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	c, err := WaxmanGrid(cfg, rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same := func() bool {
+		ec := edgeList(c)
+		if len(ec) != len(ea) {
+			return false
+		}
+		for i := range ea {
+			if ea[i] != ec[i] {
+				return false
+			}
+		}
+		return true
+	}(); same {
+		t.Fatal("different seeds produced identical topologies")
+	}
+}
+
+func TestWaxmanGridConnectedSimple(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 50, 500} {
+		cfg := DefaultWaxman(n)
+		net, err := WaxmanGrid(cfg, rng.New(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := net.Graph.NumNodes(); got != n {
+			t.Fatalf("n=%d: %d nodes", n, got)
+		}
+		if !net.Graph.Connected() {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+		if n > 1 && net.Graph.NumEdges() < n-1 {
+			t.Fatalf("n=%d: only %d edges", n, net.Graph.NumEdges())
+		}
+		for _, e := range net.Graph.Edges {
+			if e.Capacity != cfg.Capacity {
+				t.Fatalf("n=%d: capacity %v", n, e.Capacity)
+			}
+		}
+	}
+}
+
+// TestWaxmanGridMatchesNaiveDistribution pins the statistical equivalence of
+// the grid sampler and the naive scan: both sample stubs proportionally to
+// alpha*exp(-d/(beta*L)) among non-adjacent prior nodes, so over many seeds
+// the degree histogram and the edge-length profile must agree even though
+// individual topologies differ for a given seed.
+func TestWaxmanGridMatchesNaiveDistribution(t *testing.T) {
+	for _, beta := range []float64{0.2, 0.06} {
+		const n, trials = 40, 300
+		cfg := DefaultWaxman(n)
+		cfg.Beta = beta
+
+		type agg struct {
+			degHist   map[int]float64
+			lengthSum float64
+			edges     float64
+		}
+		collect := func(gen func(WaxmanConfig, *rng.RNG) (*Network, error), seedOff uint64) agg {
+			a := agg{degHist: map[int]float64{}}
+			for s := uint64(0); s < trials; s++ {
+				net, err := gen(cfg, rng.New(1000+seedOff+s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := 0; v < n; v++ {
+					a.degHist[net.Graph.Degree(v)]++
+				}
+				for _, e := range net.Graph.Edges {
+					a.lengthSum += dist(net.Pos[e.U], net.Pos[e.V])
+					a.edges++
+				}
+			}
+			return a
+		}
+		naive := collect(Waxman, 0)
+		grid := collect(WaxmanGrid, 500000)
+
+		if naive.edges != grid.edges {
+			// Both generators add exactly min(v, M) stubs per node unless
+			// every prior node is already adjacent, which cannot happen at
+			// these sizes.
+			t.Fatalf("beta=%v: edge totals differ: naive %v vs grid %v", beta, naive.edges, grid.edges)
+		}
+		// Total-variation distance between the degree histograms.
+		tvd := 0.0
+		total := float64(n * trials)
+		for d := 0; d <= n; d++ {
+			tvd += math.Abs(naive.degHist[d]-grid.degHist[d]) / total
+		}
+		tvd /= 2
+		if tvd > 0.05 {
+			t.Errorf("beta=%v: degree histogram TVD %.4f > 0.05\nnaive: %v\ngrid:  %v",
+				beta, tvd, naive.degHist, grid.degHist)
+		}
+		meanNaive := naive.lengthSum / naive.edges
+		meanGrid := grid.lengthSum / grid.edges
+		if ratio := meanGrid / meanNaive; ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("beta=%v: mean edge length off: naive %.2f grid %.2f (ratio %.3f)",
+				beta, meanNaive, meanGrid, ratio)
+		}
+	}
+}
+
+// The grid sampler must stay exact when the rejection path degenerates:
+// coincident nodes (zero distances) and dense M relative to N.
+func TestWaxmanGridDegenerate(t *testing.T) {
+	cfg := DefaultWaxman(12)
+	cfg.M = 20 // more stubs than prior nodes: every node pair gets wired
+	net, err := WaxmanGrid(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 12 * 11 / 2
+	if net.Graph.NumEdges() != want {
+		t.Fatalf("M>N should yield the complete graph: %d edges, want %d", net.Graph.NumEdges(), want)
+	}
+}
+
+func benchWaxman(b *testing.B, gen func(WaxmanConfig, *rng.RNG) (*Network, error), n int) {
+	b.Helper()
+	cfg := DefaultWaxman(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := gen(cfg, rng.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if net.Graph.NumEdges() < n-1 {
+			b.Fatal("too few edges")
+		}
+	}
+}
+
+func BenchmarkWaxmanNaive2k(b *testing.B) { benchWaxman(b, Waxman, 2000) }
+func BenchmarkWaxmanGrid2k(b *testing.B)  { benchWaxman(b, WaxmanGrid, 2000) }
+
+// The 10k pair is the acceptance benchmark for the grid sampler: WaxmanGrid
+// must beat the naive generator by >=10x at this size.
+func BenchmarkWaxmanNaive10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy topology benchmark skipped in -short mode")
+	}
+	benchWaxman(b, Waxman, 10000)
+}
+
+func BenchmarkWaxmanGrid10k(b *testing.B) { benchWaxman(b, WaxmanGrid, 10000) }
+
+func BenchmarkWaxmanGrid50k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy topology benchmark skipped in -short mode")
+	}
+	benchWaxman(b, WaxmanGrid, 50000)
+}
+
+func ExampleWaxmanGrid() {
+	net, _ := WaxmanGrid(DefaultWaxman(1000), rng.New(7))
+	fmt.Println(net.Graph.NumNodes(), net.Graph.Connected())
+	// Output: 1000 true
+}

@@ -1,0 +1,133 @@
+// Package workload generates the stochastic ingredients of a scenario: link
+// capacities, session demands, session sizes, and member popularity. The
+// paper evaluates only uniform capacity 100 with a handful of fixed-size
+// sessions; measurement studies of deployed overlays (MON, P2P VoD traces)
+// show heavy-tailed capacities and demands and strongly skewed session
+// popularity, and those regimes change which allocation wins. Every sampler
+// here draws from the splittable overcast RNG, so a scenario instance is a
+// pure function of its seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"overcast/internal/rng"
+)
+
+// Sampler draws positive float64 values (capacities, demands).
+type Sampler interface {
+	Sample(r *rng.RNG) float64
+	String() string
+}
+
+// Constant always returns its value.
+type Constant float64
+
+// Sample implements Sampler.
+func (c Constant) Sample(*rng.RNG) float64 { return float64(c) }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", float64(c)) }
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Sampler.
+func (u Uniform) Sample(r *rng.RNG) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Pareto draws from a Pareto distribution with tail index Shape and minimum
+// Scale via inverse-transform sampling: x = Scale * u^(-1/Shape). Shape <= 1
+// has infinite mean; the scenarios use Shape in (1, 2], whose mean
+// Shape*Scale/(Shape-1) is finite but whose variance may not be — the
+// classic heavy-tailed regime.
+type Pareto struct{ Shape, Scale float64 }
+
+// Sample implements Sampler.
+func (p Pareto) Sample(r *rng.RNG) float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return p.Scale * math.Pow(u, -1/p.Shape)
+		}
+	}
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(a=%g,xm=%g)", p.Shape, p.Scale) }
+
+// Lognormal draws exp(Mu + Sigma*N(0,1)); the median is exp(Mu).
+type Lognormal struct{ Mu, Sigma float64 }
+
+// Sample implements Sampler.
+func (l Lognormal) Sample(r *rng.RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+func (l Lognormal) String() string {
+	return fmt.Sprintf("lognormal(med=%.3g,s=%g)", math.Exp(l.Mu), l.Sigma)
+}
+
+// LognormalMedian builds a Lognormal from its median instead of Mu, which
+// reads better in scenario definitions.
+func LognormalMedian(median, sigma float64) Lognormal {
+	return Lognormal{Mu: math.Log(median), Sigma: sigma}
+}
+
+// Clamp restricts an inner sampler to [Lo, Hi], keeping heavy tails from
+// producing values that destroy solver numerics (a 1e8 capacity next to a
+// 1e0 one makes the Garg-Koenemann length updates useless).
+type Clamp struct {
+	S      Sampler
+	Lo, Hi float64
+}
+
+// Sample implements Sampler.
+func (c Clamp) Sample(r *rng.RNG) float64 {
+	v := c.S.Sample(r)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+func (c Clamp) String() string { return fmt.Sprintf("%v|[%g,%g]", c.S, c.Lo, c.Hi) }
+
+// Zipf samples ranks 0..n-1 with P(k) proportional to 1/(k+1)^s, via a
+// cumulative table and binary search. Building the table is O(n) once;
+// each Sample is O(log n), allocation-free, and deterministic.
+type Zipf struct {
+	cum []float64
+	s   float64
+}
+
+// NewZipf precomputes the rank table. It panics for n < 1 or s < 0
+// (s = 0 degenerates to the uniform distribution, which is allowed).
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		panic("workload: Zipf needs n >= 1")
+	}
+	if s < 0 {
+		panic("workload: Zipf needs s >= 0")
+	}
+	z := &Zipf{cum: make([]float64, n), s: s}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(float64(k+1), -s)
+		z.cum[k] = total
+	}
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one rank in [0, N).
+func (z *Zipf) Sample(r *rng.RNG) int {
+	x := r.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, x)
+}

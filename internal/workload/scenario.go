@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+)
+
+// SizeSampler draws session sizes (member counts, source included). maxNodes
+// is the topology size; implementations clamp to [2, maxNodes].
+type SizeSampler interface {
+	SampleSize(r *rng.RNG, maxNodes int) int
+	String() string
+}
+
+func clampSize(v, maxNodes int) int {
+	if v < 2 {
+		v = 2
+	}
+	if v > maxNodes {
+		v = maxNodes
+	}
+	return v
+}
+
+// FixedSize always returns its value (clamped to the topology).
+type FixedSize int
+
+// SampleSize implements SizeSampler.
+func (f FixedSize) SampleSize(_ *rng.RNG, maxNodes int) int {
+	return clampSize(int(f), maxNodes)
+}
+
+func (f FixedSize) String() string { return fmt.Sprintf("size=%d", int(f)) }
+
+// UniformSize draws uniformly from {Lo..Hi}.
+type UniformSize struct{ Lo, Hi int }
+
+// SampleSize implements SizeSampler.
+func (u UniformSize) SampleSize(r *rng.RNG, maxNodes int) int {
+	return clampSize(u.Lo+r.Intn(u.Hi-u.Lo+1), maxNodes)
+}
+
+func (u UniformSize) String() string { return fmt.Sprintf("size=%d..%d", u.Lo, u.Hi) }
+
+// ParetoSize draws Base + Pareto(Shape, Scale) rounded down, capped at
+// maxNodes/Div (Div >= 1; 0 means no divisor cap) — "few huge groups" mixes.
+type ParetoSize struct {
+	Base  int
+	Shape float64
+	Scale float64
+	Div   int
+}
+
+// SampleSize implements SizeSampler.
+func (p ParetoSize) SampleSize(r *rng.RNG, maxNodes int) int {
+	v := p.Base + int(Pareto{Shape: p.Shape, Scale: p.Scale}.Sample(r))
+	limit := maxNodes
+	if p.Div > 1 {
+		if limit = maxNodes / p.Div; limit < 2 {
+			limit = 2
+		}
+	}
+	return clampSize(v, limit)
+}
+
+func (p ParetoSize) String() string {
+	return fmt.Sprintf("size=%d+pareto(a=%g,xm=%g)", p.Base, p.Shape, p.Scale)
+}
+
+// MixSize draws from A with probability PA, else from B — bimodal session
+// mixes such as a CDN carrying a few livestreams next to many small fan-outs.
+type MixSize struct {
+	PA   float64
+	A, B SizeSampler
+}
+
+// SampleSize implements SizeSampler.
+func (m MixSize) SampleSize(r *rng.RNG, maxNodes int) int {
+	if r.Float64() < m.PA {
+		return m.A.SampleSize(r, maxNodes)
+	}
+	return m.B.SampleSize(r, maxNodes)
+}
+
+func (m MixSize) String() string { return fmt.Sprintf("mix(%.0f%% %v, %v)", m.PA*100, m.A, m.B) }
+
+// Scenario names one complete workload regime: how link capacities, session
+// demands, session sizes, and member popularity are distributed.
+type Scenario struct {
+	Name        string
+	Description string
+	// Regime notes the deployment pattern the scenario imitates, for docs
+	// and report headers.
+	Regime   string
+	Capacity Sampler
+	Demand   Sampler
+	Size     SizeSampler
+	// PopularityExp skews member choice: 0 samples members uniformly; s > 0
+	// samples them from a Zipf(s) distribution over node ids, so a few hot
+	// nodes join many sessions (flash-crowd receivers, popular sources).
+	PopularityExp float64
+}
+
+// Capacities overwrites g's edge capacities with draws from the scenario's
+// capacity distribution, in EdgeID order (deterministic: EdgeIDs are a
+// sorted function of the edge set).
+func (sc *Scenario) Capacities(g *graph.Graph, r *rng.RNG) {
+	for e := range g.Edges {
+		g.Edges[e].Capacity = sc.Capacity.Sample(r)
+	}
+}
+
+// Sessions draws count sessions over a topology of n nodes: a size, a
+// demand, and a distinct member set each, with members Zipf-skewed when the
+// scenario says so. Zipf ranks are mapped onto node ids through a seeded
+// random permutation shared by the whole instance: in the incremental
+// Waxman models, low node ids are the earliest-inserted, best-connected
+// nodes, so an identity mapping would systematically place every hot member
+// in the topology core. Member sampling falls back to uniform for sessions
+// spanning more than an eighth of the topology, where Zipf rejection would
+// stall on the tail.
+func (sc *Scenario) Sessions(n, count int, r *rng.RNG) ([]*overlay.Session, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: %d nodes cannot host sessions", n)
+	}
+	var zipf *Zipf
+	var rankToNode []int
+	if sc.PopularityExp > 0 {
+		zipf = NewZipf(n, sc.PopularityExp)
+		rankToNode = r.Split(1 << 32).Perm(n)
+	}
+	sessions := make([]*overlay.Session, count)
+	for i := 0; i < count; i++ {
+		sr := r.Split(uint64(i))
+		size := sc.Size.SampleSize(sr, n)
+		demand := sc.Demand.Sample(sr)
+		members := sampleMembers(sr, zipf, rankToNode, n, size)
+		s, err := overlay.NewSession(i, members, demand)
+		if err != nil {
+			return nil, fmt.Errorf("workload: scenario %s session %d: %w", sc.Name, i, err)
+		}
+		sessions[i] = s
+	}
+	return sessions, nil
+}
+
+// sampleMembers draws size distinct node ids, Zipf-weighted over the rank
+// permutation when zipf is non-nil and the set is small enough for
+// rejection to stay cheap.
+func sampleMembers(r *rng.RNG, zipf *Zipf, rankToNode []int, n, size int) []graph.NodeID {
+	if zipf == nil || size > n/8 {
+		return r.Sample(n, size)
+	}
+	seen := make(map[int]struct{}, size)
+	out := make([]graph.NodeID, 0, size)
+	for len(out) < size {
+		rank := zipf.Sample(r)
+		if _, dup := seen[rank]; dup {
+			continue
+		}
+		seen[rank] = struct{}{}
+		out = append(out, rankToNode[rank])
+	}
+	return out
+}
+
+// registry holds the named scenarios. Capacity and demand scales stay
+// comparable to the paper's uniform-100 setting so cross-scenario throughput
+// numbers remain meaningful.
+var registry = map[string]*Scenario{
+	"uniform": {
+		Name:        "uniform",
+		Description: "paper baseline: uniform capacity 100, demand 100, fixed-size sessions",
+		Regime:      "the paper's BRITE setting, scaled up",
+		Capacity:    Constant(100),
+		Demand:      Constant(100),
+		Size:        FixedSize(6),
+	},
+	"heavytail": {
+		Name:        "heavytail",
+		Description: "Pareto(1.5) link capacities and lognormal demands, fixed-size sessions",
+		Regime:      "measured access-capacity distributions (MON, P2P traces)",
+		Capacity:    Clamp{S: Pareto{Shape: 1.5, Scale: 40}, Lo: 40, Hi: 4000},
+		Demand:      Clamp{S: LognormalMedian(80, 0.7), Lo: 5, Hi: 2000},
+		Size:        FixedSize(6),
+	},
+	"livestream": {
+		Name:        "livestream",
+		Description: "few huge multicast groups with high demand, hot Zipf receivers",
+		Regime:      "live event streaming: one-to-many at large fan-out",
+		Capacity:    Clamp{S: Pareto{Shape: 1.5, Scale: 40}, Lo: 40, Hi: 4000},
+		Demand:      Clamp{S: LognormalMedian(300, 0.5), Lo: 50, Hi: 3000},
+		Size:        ParetoSize{Base: 24, Shape: 1.1, Scale: 8, Div: 8},
+		// Hot receivers: the same popular nodes tune into many streams.
+		PopularityExp: 0.9,
+	},
+	"conferencing": {
+		Name:          "conferencing",
+		Description:   "many small sessions (3-8 members) with modest lognormal demands",
+		Regime:        "video conferencing: dense all-to-all in small rooms",
+		Capacity:      Clamp{S: LognormalMedian(100, 0.5), Lo: 20, Hi: 1000},
+		Demand:        Clamp{S: LognormalMedian(30, 0.6), Lo: 5, Hi: 300},
+		Size:          UniformSize{Lo: 3, Hi: 8},
+		PopularityExp: 0.6,
+	},
+	"cdn": {
+		Name:        "cdn",
+		Description: "bimodal mix: 80% small fan-outs, 20% large groups; very heavy capacity tail",
+		Regime:      "CDN edge delivery: mixed content, skewed node popularity",
+		Capacity:    Clamp{S: Pareto{Shape: 1.2, Scale: 30}, Lo: 30, Hi: 6000},
+		Demand:      Clamp{S: Pareto{Shape: 1.5, Scale: 20}, Lo: 20, Hi: 1000},
+		Size: MixSize{PA: 0.8,
+			A: UniformSize{Lo: 3, Hi: 6},
+			B: ParetoSize{Base: 16, Shape: 1.3, Scale: 6, Div: 10}},
+		PopularityExp: 1.0,
+	},
+}
+
+// Get returns the named scenario, or an error listing the valid names.
+func Get(name string) (*Scenario, error) {
+	sc, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown scenario %q (have %v)", name, Names())
+	}
+	return sc, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

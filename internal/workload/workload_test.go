@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"overcast/internal/rng"
+	"overcast/internal/topology"
+)
+
+func close17(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s: got %.17g, want %.17g", what, got, want)
+	}
+}
+
+// TestGoldenStreams pins the exact fixed-seed sample streams, so any change
+// to sampler math or RNG consumption order shows up as a test failure, not a
+// silent reshuffle of every scenario instance.
+func TestGoldenStreams(t *testing.T) {
+	r := rng.New(7)
+	p := Pareto{Shape: 1.5, Scale: 40}
+	wantP := []float64{50.709534259733182, 93.737952614417082, 44.943708132012105, 40.512136337002417}
+	for i, w := range wantP {
+		close17(t, "pareto", p.Sample(r), w)
+		_ = i
+	}
+	l := LognormalMedian(80, 0.7)
+	wantL := []float64{64.668585844846262, 99.02602412128833, 24.320346015992722, 24.851238955141856}
+	for _, w := range wantL {
+		close17(t, "lognormal", l.Sample(r), w)
+	}
+	z := NewZipf(100, 1.1)
+	wantZ := []int{0, 0, 0, 11, 12, 1, 20, 0}
+	for i, w := range wantZ {
+		if got := z.Sample(r); got != w {
+			t.Fatalf("zipf draw %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestGoldenCDNSessions(t *testing.T) {
+	sc, err := Get("cdn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sc.Sessions(500, 3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSizes := []int{6, 3, 4}
+	wantDemands := []float64{171.5281161330505, 20.319051392690678, 50.250369606357069}
+	wantFirst := []int{53, 390, 69}
+	for i, s := range sess {
+		if s.Size() != wantSizes[i] {
+			t.Errorf("session %d size %d, want %d", i, s.Size(), wantSizes[i])
+		}
+		close17(t, "demand", s.Demand, wantDemands[i])
+		if s.Members[0] != wantFirst[i] {
+			t.Errorf("session %d source %d, want %d", i, s.Members[0], wantFirst[i])
+		}
+	}
+}
+
+// TestParetoTail checks the tail index against closed-form Pareto facts:
+// median xm*2^(1/a), q90 = xm*10^(1/a), mean a*xm/(a-1).
+func TestParetoTail(t *testing.T) {
+	const n = 40000
+	p := Pareto{Shape: 1.5, Scale: 40}
+	r := rng.New(99)
+	xs := make([]float64, n)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = p.Sample(r)
+		if xs[i] < p.Scale {
+			t.Fatalf("pareto sample %v below scale %v", xs[i], p.Scale)
+		}
+		sum += xs[i]
+	}
+	sort.Float64s(xs)
+	median, q90 := xs[n/2], xs[n*9/10]
+	if want := p.Scale * math.Pow(2, 1/p.Shape); math.Abs(median-want)/want > 0.03 {
+		t.Errorf("median %v, want ~%v", median, want)
+	}
+	if want := p.Scale * math.Pow(10, 1/p.Shape); math.Abs(q90-want)/want > 0.05 {
+		t.Errorf("q90 %v, want ~%v", q90, want)
+	}
+	// Infinite-variance regime: the mean converges slowly, so the tolerance
+	// is wide — this still catches a wrong tail index (a=1.5 vs 2 moves the
+	// mean by 33%).
+	if want := p.Shape * p.Scale / (p.Shape - 1); math.Abs(sum/n-want)/want > 0.25 {
+		t.Errorf("mean %v, want ~%v", sum/n, want)
+	}
+}
+
+func TestLognormalShape(t *testing.T) {
+	const n = 40000
+	l := LognormalMedian(80, 0.7)
+	r := rng.New(4)
+	logs := make([]float64, n)
+	logSum := 0.0
+	for i := range logs {
+		v := l.Sample(r)
+		if v <= 0 {
+			t.Fatal("non-positive lognormal sample")
+		}
+		logs[i] = math.Log(v)
+		logSum += logs[i]
+	}
+	if mu := logSum / n; math.Abs(mu-l.Mu) > 0.02*math.Abs(l.Mu) {
+		t.Errorf("mean log %v, want ~%v", mu, l.Mu)
+	}
+	varSum := 0.0
+	for _, x := range logs {
+		varSum += (x - l.Mu) * (x - l.Mu)
+	}
+	if sd := math.Sqrt(varSum / n); math.Abs(sd-l.Sigma) > 0.05*l.Sigma {
+		t.Errorf("log stddev %v, want ~%v", sd, l.Sigma)
+	}
+}
+
+func TestZipfHead(t *testing.T) {
+	const n, draws = 1000, 200000
+	s := 1.1
+	z := NewZipf(n, s)
+	r := rng.New(21)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	// P(0)/P(1) = 2^s; the head has plenty of mass, so the estimate is tight.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if want := math.Pow(2, s); math.Abs(ratio-want)/want > 0.1 {
+		t.Errorf("rank0/rank1 ratio %v, want ~%v", ratio, want)
+	}
+	if !(counts[0] > counts[2] && counts[2] > counts[10] && counts[10] > counts[200]) {
+		t.Errorf("head frequencies not decreasing: %d %d %d %d",
+			counts[0], counts[2], counts[10], counts[200])
+	}
+}
+
+func TestClamp(t *testing.T) {
+	c := Clamp{S: Pareto{Shape: 1.05, Scale: 10}, Lo: 12, Hi: 50}
+	r := rng.New(3)
+	sawLo, sawHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := c.Sample(r)
+		if v < c.Lo || v > c.Hi {
+			t.Fatalf("clamped sample %v outside [%v,%v]", v, c.Lo, c.Hi)
+		}
+		sawLo = sawLo || v == c.Lo
+		sawHi = sawHi || v == c.Hi
+	}
+	if !sawLo || !sawHi {
+		t.Errorf("clamp never hit a bound (lo=%v hi=%v)", sawLo, sawHi)
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("registry has %d scenarios, want >= 5", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	for _, name := range names {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != name || sc.Description == "" || sc.Regime == "" {
+			t.Fatalf("scenario %q has incomplete metadata: %+v", name, sc)
+		}
+		if sc.Capacity == nil || sc.Demand == nil || sc.Size == nil {
+			t.Fatalf("scenario %q missing a distribution", name)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get(nope) did not fail")
+	}
+}
+
+// Every scenario must yield valid sessions (distinct members, positive
+// demand) and positive capacities, deterministically per seed.
+func TestScenarioInstancesValid(t *testing.T) {
+	net, err := topology.WaxmanGrid(topology.DefaultWaxman(300), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		sc, _ := Get(name)
+		sc.Capacities(net.Graph, rng.New(2))
+		minCap := math.Inf(1)
+		for _, e := range net.Graph.Edges {
+			if e.Capacity < minCap {
+				minCap = e.Capacity
+			}
+		}
+		if minCap <= 0 {
+			t.Fatalf("%s: non-positive capacity %v", name, minCap)
+		}
+		sess, err := sc.Sessions(net.Graph.NumNodes(), 12, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := sc.Sessions(net.Graph.NumNodes(), 12, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range sess {
+			if s.Demand <= 0 {
+				t.Fatalf("%s session %d: demand %v", name, i, s.Demand)
+			}
+			if s.Size() < 2 || s.Size() > net.Graph.NumNodes() {
+				t.Fatalf("%s session %d: size %d", name, i, s.Size())
+			}
+			if got, want := again[i].Members, s.Members; len(got) != len(want) {
+				t.Fatalf("%s session %d: nondeterministic size", name, i)
+			} else {
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("%s session %d member %d: nondeterministic (%d vs %d)",
+							name, i, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Zipf-skewed membership must concentrate on a small set of hot nodes
+// compared to uniform membership — but NOT on low node ids specifically,
+// since ranks go through a random permutation (low ids are the
+// best-connected core nodes of incremental Waxman topologies, and welding
+// popularity to them would bias every heavy-popularity scenario).
+func TestPopularitySkew(t *testing.T) {
+	live, _ := Get("livestream")
+	uni, _ := Get("uniform")
+	const n = 1000
+	topShare := func(sc *Scenario) (share, lowIDShare float64) {
+		sess, err := sc.Sessions(n, 60, rng.New(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		total := 0
+		lowID := 0
+		for _, s := range sess {
+			for _, m := range s.Members {
+				counts[m]++
+				total++
+				if m < n/10 {
+					lowID++
+				}
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top := 0
+		for _, c := range counts[:n/10] {
+			top += c
+		}
+		return float64(top) / float64(total), float64(lowID) / float64(total)
+	}
+	// Isolate the popularity effect: same size/demand distributions as
+	// livestream, popularity switched off.
+	flat := *live
+	flat.PopularityExp = 0
+	liveTop, liveLow := topShare(live)
+	flatTop, _ := topShare(&flat)
+	uniTop, _ := topShare(uni)
+	if liveTop < 1.5*flatTop {
+		t.Errorf("livestream top-decile share %.3f not concentrated vs flat %.3f (uniform %.3f)",
+			liveTop, flatTop, uniTop)
+	}
+	// The hot set must not coincide with the low-id topology core: its mass
+	// on the first decile of ids should stay near the uniform 10%.
+	if liveLow > 0.25 {
+		t.Errorf("livestream low-id share %.3f: popularity is welded to node ids", liveLow)
+	}
+}
