@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/...
+	$(GO) test -race ./internal/core/... ./internal/overlay/... ./internal/sim/...
 
 fmt:
 	gofmt -w .

@@ -6,9 +6,11 @@ package overcast_test
 // full-size versions and prints the same rows/series the paper reports.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"overcast/internal/core"
 	"overcast/internal/experiments"
 	"overcast/internal/graph"
 	"overcast/internal/routing"
@@ -536,6 +538,77 @@ func BenchmarkTreePacking(b *testing.B) {
 		}
 		if alloc.SessionRate(0) < 18 {
 			b.Fatalf("K4 packing rate %v", alloc.SessionRate(0))
+		}
+	}
+}
+
+// --- Parallel phase-loop sweeps ---------------------------------------------
+//
+// The BenchmarkScaleParallel* benches sweep the solver worker-pool size over
+// fixed instances, measuring how the batched MCF phase loop scales with
+// workers. Outputs are bit-identical across the sweep (the determinism gate
+// pins this), so the ns/op trajectory in BENCH_scale.json is a pure
+// wall-clock comparison: workers=1 is the batched loop run on a single
+// worker (the round structure is identical, only the fan-out width changes;
+// it is NOT the pre-batching strictly sequential algorithm, whose outputs
+// differ — see MaxConcurrentFlow's doc), workers=8 the fan-out. Real
+// scaling needs real cores — on a single-CPU runner (GOMAXPROCS=1) all
+// worker counts collapse to roughly the single-worker time, which the
+// README "Parallel solver" section documents.
+
+var benchWorkerCounts = []int{1, 2, 8}
+
+func benchScaleParallelMCF(b *testing.B, scenario string, nodes, sessions, workers int) {
+	b.Helper()
+	si := scaleInstance(b, experiments.ScaleConfig{Nodes: nodes, Sessions: sessions, Scenario: scenario})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{
+			Epsilon: 0.3, Parallel: true, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Lambda <= 0 {
+			b.Fatalf("lambda %v", res.Lambda)
+		}
+	}
+}
+
+// BenchmarkScaleParallelMCFUniform sweeps workers over the 2,000-node
+// uniform scenario (64 sessions).
+func BenchmarkScaleParallelMCFUniform(b *testing.B) {
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchScaleParallelMCF(b, "uniform", 2000, 64, w)
+		})
+	}
+}
+
+// BenchmarkScaleParallelMCFHeavytail10k sweeps workers over the 10,000-node
+// heavytail scenario with 256 competing sessions — the acceptance instance
+// for the batched phase loop (the largest tier configuration).
+func BenchmarkScaleParallelMCFHeavytail10k(b *testing.B) {
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchScaleParallelMCF(b, "heavytail", 10000, 256, w)
+		})
+	}
+}
+
+// BenchmarkScaleChurnReplay measures the scenario-driven online/churn
+// harness end to end (trace generation, parallel oracle prefabrication,
+// sequential replay) on a 2,000-node cdn instance.
+func BenchmarkScaleChurnReplay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.ChurnRun(9000, experiments.ChurnConfig{Nodes: 2000, Scenario: "cdn"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Sessions == 0 {
+			b.Fatal("empty trace")
 		}
 	}
 }

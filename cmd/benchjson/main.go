@@ -11,9 +11,15 @@
 //
 // With -compare, the previous file is read before -out is written, so the
 // two flags may name the same path (the local "update the committed
-// baseline" workflow). The comparison is informational: regressions are
-// printed, not fatal, because shared CI runners are too noisy for a hard
-// gate; the committed baseline gives reviewers the trajectory instead.
+// baseline" workflow).
+//
+// With -maxregress P (a percentage, e.g. 35), the comparison becomes a soft
+// regression gate: the exit status is non-zero when any benchmark present in
+// both documents regressed its ns/op by more than P percent. Shared CI
+// runners are noisy, so the threshold is deliberately loose and the CI step
+// that invokes it stays `continue-on-error` until runner variance is
+// characterized (see README "Bench regression gate" for the promotion
+// plan); locally the same invocation fails loudly.
 package main
 
 import (
@@ -52,6 +58,7 @@ func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
 	compare := flag.String("compare", "", "previous JSON document to diff against (missing file = no comparison)")
+	maxRegress := flag.Float64("maxregress", 0, "fail (exit 1) when any ns/op regresses by more than this percentage vs -compare (0 = informational only)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -96,7 +103,39 @@ func main() {
 
 	if prev != nil {
 		printComparison(os.Stdout, prev, doc)
+		if *maxRegress > 0 {
+			if bad := regressions(prev, doc, *maxRegress); len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed ns/op by more than %.0f%%:\n", len(bad), *maxRegress)
+				for _, line := range bad {
+					fmt.Fprintln(os.Stderr, "  "+line)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("\nregression gate passed: no ns/op regression above %.0f%%\n", *maxRegress)
+		}
 	}
+}
+
+// regressions lists benchmarks present in both documents whose ns/op grew by
+// more than maxPct percent, sorted by name.
+func regressions(prev, cur *Document, maxPct float64) []string {
+	var bad []string
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		or, had := prev.Benchmarks[name]
+		if !had || or.NsPerOp <= 0 {
+			continue
+		}
+		nr := cur.Benchmarks[name]
+		if pct := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp; pct > maxPct {
+			bad = append(bad, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, or.NsPerOp, nr.NsPerOp, pct))
+		}
+	}
+	return bad
 }
 
 func fatal(err error) {

@@ -1,15 +1,19 @@
 // Command detdump prints a full-precision fingerprint of solver outputs on
 // deterministic instances, used to verify that refactors keep solutions
-// bit-identical for fixed seeds. The CI determinism gate runs it twice and
-// diffs the output; perf refactors additionally diff it against the dump
-// from the pre-change tree.
+// bit-identical for fixed seeds. The CI determinism gate runs it at worker
+// counts 1, 2, and 8 and diffs the outputs: solver results must be a
+// function of the seed only, never of the worker-pool size or goroutine
+// scheduling. Perf refactors additionally diff it against the dump from the
+// pre-change tree.
 //
 // The fingerprint covers the paper's Setting-A instances under both routing
-// modes and, since the scenario engine landed, grid-Waxman workload-scenario
-// instances (heterogeneous capacities/demands, Zipf membership).
+// modes, grid-Waxman workload-scenario instances (heterogeneous
+// capacities/demands, Zipf membership), and a scenario-driven online/churn
+// replay.
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"overcast/internal/core"
@@ -17,6 +21,9 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "oracle worker-pool size (0 = GOMAXPROCS); output must not depend on it")
+	flag.Parse()
+
 	for _, arb := range []bool{false, true} {
 		a, err := experiments.NewSettingA(7, experiments.SettingAConfig{
 			Nodes: 120, SessionSizes: []int{7, 5, 4}, Demand: 100, Capacity: 100,
@@ -24,11 +31,12 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
+		a.SolverWorkers = *workers
 		p := a.ProblemIP
 		if arb {
 			p = a.ProblemArb
 		}
-		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true})
+		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers})
 		if err != nil {
 			panic(err)
 		}
@@ -42,7 +50,7 @@ func main() {
 			}
 		}
 		mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
-			Epsilon: 0.1, Parallel: true, SurplusPass: true,
+			Epsilon: 0.1, Parallel: true, SurplusPass: true, Workers: *workers,
 		})
 		if err != nil {
 			panic(err)
@@ -65,7 +73,7 @@ func main() {
 
 	for _, scenario := range []string{"heavytail", "cdn"} {
 		si, err := experiments.NewScaleInstance(2026, experiments.ScaleConfig{
-			Nodes: 300, Sessions: 10, Scenario: scenario,
+			Nodes: 300, Sessions: 10, Scenario: scenario, Workers: *workers,
 		})
 		if err != nil {
 			panic(err)
@@ -90,5 +98,19 @@ func main() {
 				fmt.Printf("  util[%d]=%.17g\n", e, u)
 			}
 		}
+	}
+
+	// Online/churn replay: the oracle-prefabrication worker count must not
+	// leak into the sequential replay's outputs.
+	for _, scenario := range []string{"conferencing", "livestream"} {
+		rep, err := experiments.ChurnRun(2027, experiments.ChurnConfig{
+			Nodes: 300, Scenario: scenario, Workers: *workers,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("churn=%s sessions=%d peak=%d maxcong=%.17g active=%d thpt=%.17g minrate=%.17g mstops=%d\n",
+			scenario, rep.Sessions, rep.PeakConcurrency, rep.PeakCongestion,
+			rep.FinalActive, rep.Throughput, rep.MinRate, rep.MSTOps)
 	}
 }

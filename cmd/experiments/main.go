@@ -4,13 +4,27 @@
 // Usage:
 //
 //	experiments [-scale small|paper|large] [-seed N] [-trials N] [-maxpts N]
-//	            [-nodes N -sessions K -sessionsize S] [-scenario names] [exp ...]
+//	            [-nodes N -sessions K -sessionsize S] [-scenario names]
+//	            [-workers W] [exp ...]
 //
 // where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
 // table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// fig15, fig16, fig17, fig18, fig19, scale, or "all". With no arguments the
-// Setting-A experiments (table2..fig11) run; with -scale large the scale
-// tier runs.
+// fig15, fig16, fig17, fig18, fig19, scale, churn, or "all". With no
+// arguments the Setting-A experiments (table2..fig11) run; with -scale
+// large the scale tier runs.
+//
+// -workers sets the solvers' oracle worker-pool size (0 = GOMAXPROCS for
+// the scale tier, sequential solves for the sweep tiers, which already
+// parallelize across rows/cells/trials). Solver outputs are bit-identical
+// for every worker count — the knob moves wall-clock only.
+//
+// The churn experiment replays a scenario-driven arrival/departure trace
+// through the online allocator (sizes, demands, and member popularity from
+// the -scenario workload mixes; all scenarios when the flag is empty), with
+// per-session oracles prefabricated across the worker pool:
+//
+//	experiments -scenario cdn churn
+//	experiments -nodes 2000 -workers 8 churn
 //
 // -scale small (default) runs reduced instances in seconds; -scale paper
 // reproduces the paper's instance sizes (100-node Waxman, 10x100 two-level
@@ -55,6 +69,7 @@ func main() {
 	sessions := flag.Int("sessions", 64, "scale experiment: custom session count")
 	sessionSize := flag.Int("sessionsize", 6, "scale experiment: custom members per session")
 	scenario := flag.String("scenario", "", "scale experiment: workload scenarios, comma-separated (all | list | names)")
+	workers := flag.Int("workers", 0, "solver oracle worker-pool size (0 = auto); outputs are worker-count independent")
 	flag.Parse()
 
 	if *scenario == "list" {
@@ -79,11 +94,13 @@ func main() {
 	if len(exps) == 1 && exps[0] == "all" {
 		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
 			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "scale"}
+			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+			"scale", "churn"}
 	}
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
-		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize, scenario: *scenario}
+		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize, scenario: *scenario,
+		workers: *workers}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "sessionsize" {
 			r.sessionSizeSet = true
@@ -109,6 +126,7 @@ type runner struct {
 	sessionSize    int
 	sessionSizeSet bool // -sessionsize given explicitly (conflicts with -scenario)
 	scenario       string
+	workers        int
 
 	settingA *experiments.SettingA
 	settingB *experiments.SettingB
@@ -155,6 +173,7 @@ func (r *runner) a() (*experiments.SettingA, error) {
 	if err != nil {
 		return nil, err
 	}
+	a.SolverWorkers = r.workers
 	r.settingA = a
 	return a, nil
 }
@@ -171,6 +190,7 @@ func (r *runner) b() (*experiments.SettingB, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.SolverWorkers = r.workers
 	r.settingB = b
 	return b, nil
 }
@@ -430,6 +450,9 @@ func (r *runner) run(exp string) error {
 		default:
 			cfgs = experiments.SmallScaleSuite()
 		}
+		for ci := range cfgs {
+			cfgs[ci].Workers = r.workers
+		}
 		rows, err := experiments.ScaleSuite(r.seed, 0.3, true, cfgs)
 		if err != nil {
 			return err
@@ -437,6 +460,29 @@ func (r *runner) run(exp string) error {
 		fmt.Println("Scale tier: large-instance solver throughput")
 		for _, row := range rows {
 			fmt.Println(row.String())
+		}
+	case "churn":
+		var names []string
+		if r.scenario != "" {
+			var err error
+			if names, err = r.scenarioNames(); err != nil {
+				return err
+			}
+		}
+		nodes := r.nodes
+		if nodes == 0 {
+			nodes = 300
+			if r.scale == "paper" || r.scale == "large" {
+				nodes = 2000
+			}
+		}
+		reports, err := experiments.ChurnSuite(r.seed, nodes, r.workers, names)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Churn tier: scenario-driven online allocation under arrivals/departures")
+		for _, rep := range reports {
+			fmt.Println(rep.String())
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -16,21 +16,23 @@ import (
 func main() {
 	part := flag.String("part", "a", "a = Setting A sweeps, b = Setting B grid")
 	seed := flag.Uint64("seed", 2004, "seed")
+	workers := flag.Int("workers", 0, "solver oracle worker-pool size (0 = sequential solves; the sweeps parallelize across rows/cells); outputs are worker-count independent")
 	flag.Parse()
 	switch *part {
 	case "a":
-		runA(*seed)
+		runA(*seed, *workers)
 	case "b":
-		runB(*seed)
+		runB(*seed, *workers)
 	}
 }
 
-func runA(seed uint64) {
+func runA(seed uint64, workers int) {
 	start := time.Now()
 	a, err := experiments.NewSettingA(seed, experiments.DefaultSettingA())
 	if err != nil {
 		panic(err)
 	}
+	a.SolverWorkers = workers
 	fmt.Printf("# Setting A: %s, sessions %d+%d members, seed %d\n",
 		a.Net.Name, a.Sessions[0].Size(), a.Sessions[1].Size(), seed)
 
@@ -91,12 +93,13 @@ func util(mf, mcf interface{ Utilizations() []float64 }, label string) {
 		len(uc), stats.Mean(uc), stats.Quantile(uc, 0.5))
 }
 
-func runB(seed uint64) {
+func runB(seed uint64, workers int) {
 	start := time.Now()
 	b, err := experiments.NewSettingB(seed, experiments.SettingBConfig{ASes: 5, RoutersPerAS: 20, Capacity: 100})
 	if err != nil {
 		panic(err)
 	}
+	b.SolverWorkers = workers
 	fmt.Printf("# Setting B: %s (scaled: 5 AS x 20 routers; paper: 10x100), seed %d\n", b.Net.Name, seed)
 	cfg := experiments.GridConfig{
 		SessionCounts: []int{1, 3, 5, 7, 9},

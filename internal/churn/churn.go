@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"overcast/internal/rng"
+	"overcast/internal/workload"
 )
 
 // SessionSpec describes one session of a workload.
@@ -89,6 +90,37 @@ func Generate(cfg Config, r *rng.RNG) (*Workload, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	return generate(cfg, nil, r)
+}
+
+// GenerateScenario materializes a workload whose session sizes, demands, and
+// member popularity follow the named workload scenario (internal/workload)
+// instead of Config's uniform knobs: sizes come from the scenario's session
+// mix, demands from its demand distribution, and members are Zipf-skewed
+// toward the scenario's hot nodes. Only Config's arrival-process fields
+// (Nodes, ArrivalRate, MeanLifetime, Horizon) apply; SizeMin/SizeMax/Demand
+// are owned by the scenario and ignored.
+func GenerateScenario(cfg Config, sc *workload.Scenario, r *rng.RNG) (*Workload, error) {
+	if sc == nil {
+		return Generate(cfg, r)
+	}
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("churn: need >=2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanLifetime <= 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("churn: rates and horizon must be positive")
+	}
+	return generate(cfg, sc, r)
+}
+
+// generate is the shared trace builder: sc == nil draws sizes, demands, and
+// members from Config's uniform knobs, otherwise from the scenario's
+// distributions. The arrival process is identical either way.
+func generate(cfg Config, sc *workload.Scenario, r *rng.RNG) (*Workload, error) {
+	var members *workload.MemberSampler
+	if sc != nil {
+		members = sc.NewMemberSampler(cfg.Nodes, r)
+	}
 	w := &Workload{}
 	t := 0.0
 	for {
@@ -96,21 +128,30 @@ func Generate(cfg Config, r *rng.RNG) (*Workload, error) {
 		if t >= cfg.Horizon {
 			break
 		}
-		size := cfg.SizeMin + r.Intn(cfg.SizeMax-cfg.SizeMin+1)
-		depart := t + r.ExpFloat64()*cfg.MeanLifetime
-		if depart > cfg.Horizon {
-			depart = cfg.Horizon
+		// Draw order (size, demand, lifetime, members) keeps the legacy
+		// uniform path's RNG stream bit-identical to earlier releases.
+		spec := SessionSpec{Demand: cfg.Demand, Arrive: t}
+		var size int
+		if sc != nil {
+			size = sc.Size.SampleSize(r, cfg.Nodes)
+			spec.Demand = sc.Demand.Sample(r)
+		} else {
+			size = cfg.SizeMin + r.Intn(cfg.SizeMax-cfg.SizeMin+1)
+		}
+		spec.Depart = t + r.ExpFloat64()*cfg.MeanLifetime
+		if spec.Depart > cfg.Horizon {
+			spec.Depart = cfg.Horizon
+		}
+		if sc != nil {
+			spec.Members = members.Sample(r, size)
+		} else {
+			spec.Members = r.Sample(cfg.Nodes, size)
 		}
 		idx := len(w.Sessions)
-		w.Sessions = append(w.Sessions, SessionSpec{
-			Members: r.Sample(cfg.Nodes, size),
-			Demand:  cfg.Demand,
-			Arrive:  t,
-			Depart:  depart,
-		})
+		w.Sessions = append(w.Sessions, spec)
 		w.Events = append(w.Events,
 			Event{Time: t, Kind: Join, Session: idx},
-			Event{Time: depart, Kind: Leave, Session: idx},
+			Event{Time: spec.Depart, Kind: Leave, Session: idx},
 		)
 	}
 	sort.SliceStable(w.Events, func(a, b int) bool {

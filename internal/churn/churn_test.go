@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"overcast/internal/rng"
+	"overcast/internal/workload"
 )
 
 func defaultCfg() Config {
@@ -137,5 +138,134 @@ func TestWorkloadProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestGenerateScenarioWorkload(t *testing.T) {
+	cfg := Config{Nodes: 200, ArrivalRate: 3, MeanLifetime: 4, Horizon: 15}
+	for _, name := range workload.Names() {
+		sc, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := GenerateScenario(cfg, sc, rng.New(9))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w.Sessions) == 0 {
+			t.Fatalf("%s: no sessions", name)
+		}
+		for i, s := range w.Sessions {
+			if len(s.Members) < 2 || len(s.Members) > cfg.Nodes {
+				t.Fatalf("%s: session %d size %d out of bounds", name, i, len(s.Members))
+			}
+			seen := map[int]bool{}
+			for _, m := range s.Members {
+				if m < 0 || m >= cfg.Nodes || seen[m] {
+					t.Fatalf("%s: session %d has bad/duplicate member %d", name, i, m)
+				}
+				seen[m] = true
+			}
+			if s.Demand <= 0 {
+				t.Fatalf("%s: session %d demand %v", name, i, s.Demand)
+			}
+		}
+		// Deterministic: same seed, same trace.
+		again, err := GenerateScenario(cfg, sc, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Sessions) != len(w.Sessions) {
+			t.Fatalf("%s: nondeterministic session count", name)
+		}
+		for i := range w.Sessions {
+			if w.Sessions[i].Demand != again.Sessions[i].Demand || w.Sessions[i].Arrive != again.Sessions[i].Arrive {
+				t.Fatalf("%s: session %d differs across rebuilds", name, i)
+			}
+			for j, m := range w.Sessions[i].Members {
+				if again.Sessions[i].Members[j] != m {
+					t.Fatalf("%s: session %d member %d differs across rebuilds", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateScenarioSizesFollowMix checks the point of the scenario hook:
+// conferencing stays within its 3..8 mix while livestream's Pareto tail
+// produces sessions far beyond any uniform SizeMax.
+func TestGenerateScenarioSizesFollowMix(t *testing.T) {
+	cfg := Config{Nodes: 400, ArrivalRate: 6, MeanLifetime: 3, Horizon: 40}
+	conf, err := workload.Get("conferencing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := GenerateScenario(cfg, conf, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range w.Sessions {
+		if len(s.Members) < 3 || len(s.Members) > 8 {
+			t.Fatalf("conferencing session %d size %d outside 3..8", i, len(s.Members))
+		}
+	}
+	live, err := workload.Get("livestream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := GenerateScenario(cfg, live, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, s := range lw.Sessions {
+		if len(s.Members) > max {
+			max = len(s.Members)
+		}
+	}
+	if max <= 8 {
+		t.Fatalf("livestream max session size %d, want heavy-tailed (> 8)", max)
+	}
+}
+
+// TestGenerateScenarioNilFallsBack pins GenerateScenario(nil) to the legacy
+// uniform generator, bit for bit.
+func TestGenerateScenarioNilFallsBack(t *testing.T) {
+	a, err := Generate(defaultCfg(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateScenario(defaultCfg(), nil, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sessions) != len(b.Sessions) || len(a.Events) != len(b.Events) {
+		t.Fatal("nil scenario diverges from Generate")
+	}
+	for i := range a.Sessions {
+		if a.Sessions[i].Arrive != b.Sessions[i].Arrive || a.Sessions[i].Depart != b.Sessions[i].Depart {
+			t.Fatalf("session %d lifetime differs", i)
+		}
+		for j, m := range a.Sessions[i].Members {
+			if b.Sessions[i].Members[j] != m {
+				t.Fatalf("session %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateScenarioRejectsBadConfig(t *testing.T) {
+	sc, err := workload.Get("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateScenario(Config{Nodes: 1, ArrivalRate: 1, MeanLifetime: 1, Horizon: 1}, sc, rng.New(1)); err == nil {
+		t.Fatal("1-node scenario config accepted")
+	}
+	if _, err := GenerateScenario(Config{Nodes: 10, ArrivalRate: 0, MeanLifetime: 1, Horizon: 1}, sc, rng.New(1)); err == nil {
+		t.Fatal("zero arrival rate accepted")
 	}
 }

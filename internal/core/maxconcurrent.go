@@ -14,8 +14,16 @@ type MaxConcurrentFlowOptions struct {
 	// within (1-eps)^3 of the M2 optimum (the paper reports 1-3eps). Must
 	// be in (0, 0.5].
 	Epsilon float64
-	// Parallel fans oracle computations across CPUs where possible.
+	// Parallel fans oracle computations across CPUs where possible: the
+	// beta prestep batches its independent per-session maximum flows and
+	// the phase loop fans each round of pending-session oracle calls out to
+	// a persistent worker pool.
 	Parallel bool
+	// Workers sets the oracle worker-pool size explicitly: 0 defers to
+	// Parallel (GOMAXPROCS when set, 1 otherwise); any positive value is
+	// used as given, so Workers=1 forces the sequential path. Outputs are
+	// bit-identical for every worker count.
+	Workers int
 	// SurplusPass, when set, routes additional MaxFlow-style traffic on the
 	// residual capacities after the fair share is secured. The paper's
 	// Table IV rates exceed lambda·dem(i) for the larger session, which is
@@ -53,27 +61,58 @@ type MCFResult struct {
 // with multiplicative length updates, demand pre-scaling via single-session
 // maximum flows, and demand doubling when the optimum is still large
 // (Sec. III-C). The returned solution is exactly feasible.
+//
+// Each phase is processed in rounds: every session with remaining (scaled)
+// demand has its oracle evaluated against the round's length snapshot — the
+// calls are independent given the lengths, so they fan out across the worker
+// pool — and the resulting trees are applied in ascending session order,
+// each routing up to its bottleneck capacity before the lengths move on.
+// The reduction order is canonical, so outputs are a bit-identical function
+// of the problem and epsilon for every worker count.
+//
+// A tree applied later in a round was minimum under the round snapshot, not
+// necessarily under the lengths at its routing instant (earlier sessions in
+// the round may have inflated shared edges by up to 1+eps each). Table III
+// proper re-queries the oracle per routing step; the round-snapshot variant
+// trades that per-step minimality for batchability, and its solutions
+// therefore differ from the strictly sequential loop's for the same seed.
+// The (1-3eps) bound is pinned empirically against the exact LP in
+// TestMCFMatchesExactM2SmallInstances rather than inherited verbatim from
+// the paper's analysis.
 func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, error) {
 	eps := opts.Epsilon
 	if eps <= 0 || eps > 0.5 {
 		return nil, fmt.Errorf("core: MaxConcurrentFlow epsilon %v outside (0, 0.5]", eps)
 	}
 	k := p.K()
+	workers := resolveWorkers(opts.Parallel, opts.Workers)
 
 	// Pre-step: beta_i = single-session maximum flow, for demand scaling.
+	// The per-session runs are independent, so they batch across the worker
+	// pool; results land in i-indexed slots and are folded in session order,
+	// keeping betas, MSTOps, and errors identical to a sequential pass.
 	betas := make([]float64, k)
-	prestepOps := 0
-	for i := 0; i < k; i++ {
+	perSessionOps := make([]int, k)
+	prestepErrs := make([]error, k)
+	parallelFor(workers, k, func(i int) {
 		sub := singleSessionProblem(p, i)
-		mf, err := MaxFlow(sub, MaxFlowOptions{Epsilon: eps, Parallel: opts.Parallel})
+		mf, err := MaxFlow(sub, MaxFlowOptions{Epsilon: eps, Workers: 1})
 		if err != nil {
-			return nil, fmt.Errorf("core: beta prestep session %d: %w", i, err)
+			prestepErrs[i] = fmt.Errorf("core: beta prestep session %d: %w", i, err)
+			return
 		}
 		betas[i] = mf.SessionRate(0)
-		prestepOps += mf.MSTOps
+		perSessionOps[i] = mf.MSTOps
 		if betas[i] <= 0 {
-			return nil, fmt.Errorf("core: session %d has zero max flow", i)
+			prestepErrs[i] = fmt.Errorf("core: session %d has zero max flow", i)
 		}
+	})
+	prestepOps := 0
+	for i := 0; i < k; i++ {
+		if prestepErrs[i] != nil {
+			return nil, prestepErrs[i]
+		}
+		prestepOps += perSessionOps[i]
 	}
 	// zeta = min_i beta_i/dem(i) upper-bounds lambda*; scaling demands by
 	// zeta/k puts the scaled optimum in [1, k].
@@ -114,9 +153,13 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 		maxPhases = budget * (bits(k) + 2)
 	}
 
-	// The phase loop queries one oracle at a time, so a single scratch
-	// serves every session; it persists across all phases.
-	scratch := overlay.NewScratch(p.G)
+	// The phase loop fans each round of pending-session oracle calls out to
+	// the persistent worker pool (per-worker scratch); the pool outlives all
+	// phases, so goroutines and buffers are built exactly once per solve.
+	runner := overlay.NewBatchRunner(p.G, p.Oracles, workers)
+	defer runner.Close()
+	rem := make([]float64, k)
+	pending := make([]int, 0, k)
 	phases := 0
 	sinceDoubling := 0
 	doublings := 0
@@ -135,29 +178,50 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 				return nil, fmt.Errorf("core: demand doubling diverged after %d rounds", doublings)
 			}
 		}
-		for i := 0; i < k && bigD < 1; i++ {
-			rem := dem[i]
-			for bigD < 1 && rem > 1e-15 {
-				t, err := overlay.MinTreeWith(p.Oracles[i], d, scratch)
-				if err != nil {
-					return nil, fmt.Errorf("core: MCF oracle %d: %w", i, err)
+		// One phase: route every session's scaled demand. Each round batches
+		// the pending sessions' min-tree computations against the current
+		// lengths, then applies them in ascending session order; a session
+		// whose tree bottleneck is below its remaining demand stays pending
+		// and gets a fresh tree (under the moved lengths) next round. Almost
+		// always the bottleneck exceeds the scaled demand and a phase is a
+		// single round.
+		pending = pending[:0]
+		for i := 0; i < k; i++ {
+			rem[i] = dem[i]
+			pending = append(pending, i)
+		}
+		for len(pending) > 0 && bigD < 1 {
+			results := runner.MinTrees(d, pending)
+			acc.sol.MSTOps += len(pending)
+			// next reuses pending's backing array: position pos is read
+			// before any write can reach index pos (one append per
+			// processed position), so the in-place filter is safe.
+			next := pending[:0]
+			for pos := 0; pos < len(pending) && bigD < 1; pos++ {
+				i := pending[pos]
+				if results[pos].Err != nil {
+					return nil, fmt.Errorf("core: MCF oracle %d: %w", i, results[pos].Err)
 				}
-				acc.sol.MSTOps++
-				c := rem
+				t := results[pos].Tree
+				c := rem[i]
 				for _, use := range t.Use() {
 					if v := p.G.Edges[use.Edge].Capacity / float64(use.Count); v < c {
 						c = v
 					}
 				}
 				acc.add(i, t, c)
-				rem -= c
+				rem[i] -= c
 				for _, use := range t.Use() {
 					ce := p.G.Edges[use.Edge].Capacity
 					grow := 1 + eps*float64(use.Count)*c/ce
 					bigD += ce * d[use.Edge] * (grow - 1)
 					d[use.Edge] *= grow
 				}
+				if rem[i] > 1e-15 {
+					next = append(next, i)
+				}
 			}
+			pending = next
 		}
 		phases++
 		sinceDoubling++
@@ -179,7 +243,7 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 		if seps == 0 {
 			seps = eps
 		}
-		if err := addSurplus(p, sol, seps, opts.Parallel); err != nil {
+		if err := addSurplus(p, sol, seps, opts.Parallel, opts.Workers); err != nil {
 			return nil, err
 		}
 		sol.ScaleToFeasible()
@@ -202,7 +266,7 @@ func singleSessionProblem(p *Problem, i int) *Problem {
 // addSurplus runs a MaxFlow pass on the residual capacities left by sol and
 // merges the extra flow into sol. Edge identities are preserved because the
 // residual graph has the same (sorted) edge set.
-func addSurplus(p *Problem, sol *Solution, eps float64, parallel bool) error {
+func addSurplus(p *Problem, sol *Solution, eps float64, parallel bool, workers int) error {
 	load := sol.LinkFlows()
 	b := graph.NewBuilder(p.G.NumNodes())
 	const floorCap = 1e-9 // builder requires positive capacities
@@ -220,7 +284,7 @@ func addSurplus(p *Problem, sol *Solution, eps float64, parallel bool) error {
 	if err != nil {
 		return fmt.Errorf("core: surplus problem: %w", err)
 	}
-	extra, err := MaxFlow(rp, MaxFlowOptions{Epsilon: eps, Parallel: parallel})
+	extra, err := MaxFlow(rp, MaxFlowOptions{Epsilon: eps, Parallel: parallel, Workers: workers})
 	if err != nil {
 		return fmt.Errorf("core: surplus pass: %w", err)
 	}

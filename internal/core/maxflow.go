@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"overcast/internal/graph"
+	"overcast/internal/overlay"
 )
 
 // MaxFlowOptions configures the MaxFlow FPTAS.
@@ -16,6 +17,11 @@ type MaxFlowOptions struct {
 	// Parallel fans the per-iteration k spanning-tree computations across
 	// CPUs.
 	Parallel bool
+	// Workers sets the oracle worker-pool size explicitly: 0 defers to
+	// Parallel (GOMAXPROCS when set, 1 otherwise); any positive value is
+	// used as given, so Workers=1 forces the sequential path. Outputs are
+	// bit-identical for every worker count.
+	Workers int
 	// MaxIterations overrides the default safety bound (0 = automatic).
 	MaxIterations int
 }
@@ -66,8 +72,8 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 	// One worker pool plus per-worker scratch for the whole run: the oracle
 	// fan-out below executes every iteration, and rebuilding goroutines and
 	// buffers each time used to dominate the solver's allocation profile.
-	runner := newMOSTRunner(p.G, p.Oracles, opts.Parallel)
-	defer runner.close()
+	runner := overlay.NewBatchRunner(p.G, p.Oracles, resolveWorkers(opts.Parallel, opts.Workers))
+	defer runner.Close()
 
 	maxIter := opts.MaxIterations
 	if maxIter == 0 {
@@ -78,15 +84,15 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		results := runner.compute(d)
+		results := runner.MinTreesLen(d, nil)
 		acc.sol.MSTOps += p.K()
 		best := -1
 		bestNorm := math.Inf(1)
 		for i, r := range results {
-			if r.err != nil {
-				return nil, fmt.Errorf("core: MaxFlow oracle %d: %w", i, r.err)
+			if r.Err != nil {
+				return nil, fmt.Errorf("core: MaxFlow oracle %d: %w", i, r.Err)
 			}
-			norm := r.len / p.Weight(i)
+			norm := r.Len / p.Weight(i)
 			if norm < bestNorm {
 				bestNorm = norm
 				best = i
@@ -95,7 +101,7 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 		if bestNorm >= 1 {
 			break
 		}
-		t := results[best].tree
+		t := results[best].Tree
 		// Bottleneck capacity c = min_e c_e/n_e(t).
 		c := math.Inf(1)
 		for _, use := range t.Use() {

@@ -32,6 +32,14 @@ type Online struct {
 	mstOps  int
 	nActive int
 	scratch *overlay.Scratch // reused across Join calls
+
+	// Leave scratch: edge membership bitmap plus the affected-edge list,
+	// reused across calls so departures allocate nothing and the rebuild
+	// iterates edges in a deterministic order (the map this replaces had
+	// randomized iteration order — harmless for values, since the rebuild
+	// is order-independent, but needless work per call).
+	affected     []bool
+	affectedList []graph.EdgeID
 }
 
 // edgeFactor is one multiplicative length update applied at join time.
@@ -103,11 +111,17 @@ func (o *Online) Leave(idx int) error {
 	// factor back out) makes Leave bit-exact: the state equals what
 	// replaying the remaining updates in arrival order would produce, so
 	// deterministic tie-breaks in later MinTree calls are preserved.
-	affected := make(map[graph.EdgeID]bool, len(o.factors[idx]))
-	for _, f := range o.factors[idx] {
-		affected[f.edge] = true
+	if o.affected == nil {
+		o.affected = make([]bool, o.g.NumEdges())
 	}
-	for e := range affected {
+	o.affectedList = o.affectedList[:0]
+	for _, f := range o.factors[idx] {
+		if !o.affected[f.edge] {
+			o.affected[f.edge] = true
+			o.affectedList = append(o.affectedList, f.edge)
+		}
+	}
+	for _, e := range o.affectedList {
 		o.d[e] = 1 / o.g.Edges[e].Capacity
 		o.le[e] = 0
 	}
@@ -116,11 +130,14 @@ func (o *Online) Leave(idx int) error {
 			continue
 		}
 		for _, f := range fs {
-			if affected[f.edge] {
+			if o.affected[f.edge] {
 				o.d[f.edge] *= f.factor
 				o.le[f.edge] += f.frac
 			}
 		}
+	}
+	for _, e := range o.affectedList {
+		o.affected[e] = false
 	}
 	return nil
 }

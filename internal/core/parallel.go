@@ -3,114 +3,29 @@ package core
 import (
 	"runtime"
 	"sync"
-
-	"overcast/internal/graph"
-	"overcast/internal/overlay"
 )
 
-// mostResult is one session's minimum overlay spanning tree with its raw
-// (unnormalized) dual length.
-type mostResult struct {
-	tree *overlay.Tree
-	len  float64
-	err  error
+// resolveWorkers turns the (Parallel, Workers) option pair into a concrete
+// oracle worker-pool size. An explicit Workers value always wins (1 forces
+// the sequential path even with Parallel set, which is what the detdump
+// cross-worker determinism gate sweeps); Workers == 0 falls back to
+// GOMAXPROCS when Parallel is set and to 1 otherwise.
+func resolveWorkers(parallel bool, workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	if parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
 }
 
-// mostRunner evaluates every oracle's MinTree under successive length
-// functions. It owns a persistent worker pool with one overlay.Scratch per
-// worker, so a solver's thousands of iterations share goroutines and buffers
-// instead of rebuilding both every iteration. The reduction is deterministic:
-// results land in a slice indexed by session, so scheduling order never
-// affects output. Create with newMOSTRunner and release with close (idempotent
-// to leak-check: close is required only for the parallel variant's workers).
-type mostRunner struct {
-	oracles []overlay.TreeOracle
-	out     []mostResult
-	workers int
-
-	// Sequential mode: one scratch, no goroutines.
-	seq *overlay.Scratch
-
-	// Parallel mode: persistent workers fed per-batch via jobs; d is the
-	// batch's length function, published before the sends and therefore
-	// visible to workers via the channel's happens-before edge.
-	jobs chan int
-	wg   sync.WaitGroup
-	d    graph.Lengths
-}
-
-// newMOSTRunner builds a runner over the problem's oracles. parallel requests
-// fan-out across GOMAXPROCS workers; with one oracle or one CPU it degrades
-// to the sequential single-scratch path.
-func newMOSTRunner(g *graph.Graph, oracles []overlay.TreeOracle, parallel bool) *mostRunner {
-	k := len(oracles)
-	r := &mostRunner{oracles: oracles, out: make([]mostResult, k), workers: 1}
-	if parallel && k > 1 {
-		if w := runtime.GOMAXPROCS(0); w > 1 {
-			if w > k {
-				w = k
-			}
-			r.workers = w
-		}
-	}
-	if r.workers == 1 {
-		r.seq = overlay.NewScratch(g)
-		return r
-	}
-	r.jobs = make(chan int)
-	for w := 0; w < r.workers; w++ {
-		go func() {
-			sc := overlay.NewScratch(g)
-			for i := range r.jobs {
-				r.eval(i, sc)
-				r.wg.Done()
-			}
-		}()
-	}
-	return r
-}
-
-// eval computes oracle i's tree into the output slot.
-func (r *mostRunner) eval(i int, sc *overlay.Scratch) {
-	t, err := overlay.MinTreeWith(r.oracles[i], r.d, sc)
-	if err != nil {
-		r.out[i] = mostResult{err: err}
-		return
-	}
-	r.out[i] = mostResult{tree: t, len: t.LengthUnder(r.d)}
-}
-
-// compute evaluates all oracles under d. The returned slice is reused across
-// calls — consume it before the next compute.
-func (r *mostRunner) compute(d graph.Lengths) []mostResult {
-	r.d = d
-	if r.workers == 1 {
-		for i := range r.oracles {
-			r.eval(i, r.seq)
-		}
-		return r.out
-	}
-	r.wg.Add(len(r.oracles))
-	for i := range r.oracles {
-		r.jobs <- i
-	}
-	r.wg.Wait()
-	return r.out
-}
-
-// close releases the worker pool. The runner must not be used afterwards.
-func (r *mostRunner) close() {
-	if r.jobs != nil {
-		close(r.jobs)
-		r.jobs = nil
-	}
-}
-
-// parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS workers and blocks
-// until all complete. fn must be safe to run concurrently for distinct i.
-// Used by the experiment harness for trial fan-outs.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+// parallelFor runs fn(i) for i in [0,n) across at most workers goroutines
+// and blocks until all complete. fn must be safe to run concurrently for
+// distinct i and must write only to i-indexed slots, so results are
+// independent of scheduling. workers <= 1 degrades to an inline loop.
+// Used by the MCF beta prestep to fan the per-session MaxFlows out.
+func parallelFor(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}

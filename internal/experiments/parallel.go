@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor fans fn over [0,n) with a GOMAXPROCS-bounded worker pool.
+func parallelFor(n int, fn func(i int)) {
+	parallelWorkers(runtime.GOMAXPROCS(0), n, fn)
+}
+
+// parallelWorkers fans fn over [0,n) with at most workers goroutines and
+// blocks until all complete. fn must be safe to run concurrently for
+// distinct i and must write only to i-indexed slots, so results never depend
+// on scheduling. workers <= 1 degrades to an inline loop.
+func parallelWorkers(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -33,6 +33,11 @@ type ScaleConfig struct {
 	// Waxman generator and the scenario's capacity/demand/size/popularity
 	// distributions; SessionSize and Demand are then owned by the scenario.
 	Scenario string
+	// Workers is the solver oracle worker-pool size (0 = GOMAXPROCS when
+	// the parallel solve path is requested). It affects wall-clock only:
+	// solver outputs are bit-identical for every worker count, and the
+	// instance itself (topology, sessions) never depends on it.
+	Workers int
 }
 
 func (c *ScaleConfig) normalize() error {
@@ -138,15 +143,17 @@ func NewScaleInstance(seed uint64, cfg ScaleConfig) (*ScaleInstance, error) {
 	return &ScaleInstance{Seed: seed, Config: cfg, Net: net, Sessions: sessions, Problem: p}, nil
 }
 
-// MaxFlow solves the M1 FPTAS on the instance.
+// MaxFlow solves the M1 FPTAS on the instance with the config's worker-pool
+// size.
 func (si *ScaleInstance) MaxFlow(eps float64, parallel bool) (*core.Solution, error) {
-	return core.MaxFlow(si.Problem, core.MaxFlowOptions{Epsilon: eps, Parallel: parallel})
+	return core.MaxFlow(si.Problem, core.MaxFlowOptions{Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers})
 }
 
 // MCF solves the M2 FPTAS on the instance (no surplus pass: the scale tier
-// measures the core phase loop, not the back-fill heuristic).
+// measures the core phase loop, not the back-fill heuristic) with the
+// config's worker-pool size.
 func (si *ScaleInstance) MCF(eps float64, parallel bool) (*core.MCFResult, error) {
-	return core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{Epsilon: eps, Parallel: parallel})
+	return core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers})
 }
 
 // ScaleRow is one solved scenario of a scale suite run.

@@ -12,8 +12,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"overcast/internal/core"
 	"overcast/internal/graph"
@@ -36,6 +34,10 @@ type SettingA struct {
 	// routing mode.
 	ProblemIP  *core.Problem
 	ProblemArb *core.Problem
+	// SolverWorkers is the per-solve oracle worker-pool size (0 keeps the
+	// solver sequential; the sweeps already parallelize across rows/trials).
+	// Results are bit-identical for every value.
+	SolverWorkers int
 }
 
 // SettingAConfig allows scaling the environment down for tests and benches.
@@ -120,7 +122,7 @@ func (a *SettingA) MaxFlowSweep(ratios []float64, arbitrary bool) ([]FlowRow, []
 	sols := make([]*core.Solution, len(ratios))
 	errs := make([]error, len(ratios))
 	parallelFor(len(ratios), func(i int) {
-		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i])})
+		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i]), Workers: a.SolverWorkers})
 		if err != nil {
 			errs[i] = err
 			return
@@ -168,6 +170,7 @@ func (a *SettingA) MCFSweep(ratios []float64, arbitrary bool) ([]MCFRow, []*core
 		res, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
 			Epsilon:     core.MCFRatioToEpsilon(ratios[i]),
 			SurplusPass: true,
+			Workers:     a.SolverWorkers,
 		})
 		if err != nil {
 			errs[i] = err
@@ -256,6 +259,7 @@ func (a *SettingA) TreeLimitSweep(cfg TreeLimitConfig) (*TreeLimitResult, error)
 	}
 	base, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
 		Epsilon: core.MCFRatioToEpsilon(cfg.BaseRatio), SurplusPass: true,
+		Workers: a.SolverWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -420,34 +424,4 @@ func averagePoints(pts []TreeLimitPoint, k int) TreeLimitPoint {
 		}
 	}
 	return avg
-}
-
-// parallelFor fans fn over [0,n) with a bounded worker pool.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -1,0 +1,154 @@
+package overlay
+
+import (
+	"runtime"
+	"sync"
+
+	"overcast/internal/graph"
+)
+
+// BatchResult is one oracle's minimum overlay spanning tree with its raw
+// (unnormalized) length under the batch's length function. Len is filled by
+// MinTreesLen only (MinTrees leaves it zero): the extra O(tree edges) pass
+// is measurable in length-oblivious phase loops like MaxConcurrentFlow's.
+type BatchResult struct {
+	Tree *Tree
+	Len  float64
+	Err  error
+}
+
+// BatchRunner evaluates many oracles' MinTree under a shared length function
+// with a persistent worker pool and one Scratch per worker. The paper's phase
+// loops query the same oracle set thousands of times; a runner amortizes both
+// the goroutines and the scratch buffers across all of those batches instead
+// of rebuilding them per call.
+//
+// The reduction is deterministic by construction: result slot j of a batch
+// always holds oracle ids[j]'s tree, computed under the batch's immutable
+// length snapshot, so neither the worker count nor goroutine scheduling can
+// change what a caller observes. Oracles must be safe for concurrent reads
+// (both built-in oracles are: MinTreeWith touches only the per-call Scratch).
+type BatchRunner struct {
+	g       *graph.Graph
+	oracles []TreeOracle
+	workers int
+
+	// Inline scratch: the whole batch when workers == 1, single-slot batches
+	// otherwise (lazily created; avoids channel round-trips for one job).
+	seq *Scratch
+
+	// Parallel mode: persistent workers fed per-batch via jobs. d, ids and
+	// out describe the current batch; they are published before the job sends
+	// and read by workers via the channel's happens-before edge, and the
+	// WaitGroup barrier orders all slot writes before the caller's reads.
+	jobs    chan int
+	wg      sync.WaitGroup
+	d       graph.Lengths
+	ids     []int
+	wantLen bool
+	out     []BatchResult
+}
+
+// NewBatchRunner builds a runner over oracles with the requested worker-pool
+// size: workers <= 0 means GOMAXPROCS, and the pool is never larger than the
+// oracle set. With one worker the runner degrades to a single-scratch
+// sequential path with zero goroutines; results are identical either way.
+func NewBatchRunner(g *graph.Graph, oracles []TreeOracle, workers int) *BatchRunner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(oracles) {
+		workers = len(oracles)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &BatchRunner{g: g, oracles: oracles, workers: workers, out: make([]BatchResult, len(oracles))}
+	if workers == 1 {
+		r.seq = NewScratch(g)
+		return r
+	}
+	r.jobs = make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			sc := NewScratch(g)
+			for pos := range r.jobs {
+				r.eval(pos, sc)
+				r.wg.Done()
+			}
+		}()
+	}
+	return r
+}
+
+// Workers returns the resolved worker-pool size.
+func (r *BatchRunner) Workers() int { return r.workers }
+
+// eval computes the tree of the oracle in batch slot pos.
+func (r *BatchRunner) eval(pos int, sc *Scratch) {
+	i := pos
+	if r.ids != nil {
+		i = r.ids[pos]
+	}
+	t, err := MinTreeWith(r.oracles[i], r.d, sc)
+	if err != nil {
+		r.out[pos] = BatchResult{Err: err}
+		return
+	}
+	res := BatchResult{Tree: t}
+	if r.wantLen {
+		res.Len = t.LengthUnder(r.d)
+	}
+	r.out[pos] = res
+}
+
+// MinTrees evaluates the oracles named by ids (nil = all oracles) under d and
+// returns one result per id, in id-list order, with Len left zero. d must
+// not be mutated until MinTrees returns. The returned slice is reused by the
+// next call — consume it first. Trees in the results do not alias runner
+// state and stay valid indefinitely.
+func (r *BatchRunner) MinTrees(d graph.Lengths, ids []int) []BatchResult {
+	return r.run(d, ids, false)
+}
+
+// MinTreesLen is MinTrees with each result's Len filled with the tree's raw
+// length under d (computed on the workers, so the extra pass parallelizes).
+func (r *BatchRunner) MinTreesLen(d graph.Lengths, ids []int) []BatchResult {
+	return r.run(d, ids, true)
+}
+
+func (r *BatchRunner) run(d graph.Lengths, ids []int, wantLen bool) []BatchResult {
+	n := len(r.oracles)
+	if ids != nil {
+		n = len(ids)
+	}
+	r.d, r.ids, r.wantLen = d, ids, wantLen
+	if r.workers == 1 || n == 1 {
+		// Single slot or single worker: evaluate inline. The parallel
+		// variant's scratch lives in its workers, so the inline path keeps
+		// its own; results are identical (Scratch state never leaks into
+		// outputs).
+		if r.seq == nil {
+			r.seq = NewScratch(r.g)
+		}
+		for pos := 0; pos < n; pos++ {
+			r.eval(pos, r.seq)
+		}
+		return r.out[:n]
+	}
+	r.wg.Add(n)
+	for pos := 0; pos < n; pos++ {
+		r.jobs <- pos
+	}
+	r.wg.Wait()
+	return r.out[:n]
+}
+
+// Close releases the worker pool. The runner must not be used afterwards;
+// Close is idempotent.
+func (r *BatchRunner) Close() {
+	if r.jobs != nil {
+		close(r.jobs)
+		r.jobs = nil
+	}
+}

@@ -1,0 +1,190 @@
+package overlay
+
+import (
+	"testing"
+
+	"overcast/internal/graph"
+	"overcast/internal/routing"
+)
+
+// batchFixture builds a small ring-of-cliques graph with several overlapping
+// sessions and one fixed oracle per session.
+func batchFixture(t testing.TB, k int) (*graph.Graph, []TreeOracle) {
+	t.Helper()
+	const n = 24
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(i, (i+1)%n, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(i, (i+5)%n, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	var members []graph.NodeID
+	for i := 0; i < n; i++ {
+		members = append(members, i)
+	}
+	rt := routing.NewIPRoutes(g, members)
+	oracles := make([]TreeOracle, k)
+	for i := 0; i < k; i++ {
+		s, err := NewSession(i, []graph.NodeID{i % n, (i + 7) % n, (i + 13) % n, (i + 18) % n}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := NewFixedOracle(g, rt, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[i] = o
+	}
+	return g, oracles
+}
+
+// lengthsFor varies edge lengths deterministically so different batches see
+// different length functions.
+func lengthsFor(g *graph.Graph, round int) graph.Lengths {
+	d := graph.NewLengths(g, 1)
+	for e := range d {
+		d[e] = 1 + float64((e*7+round*3)%11)/10
+	}
+	return d
+}
+
+// TestBatchMatchesDirectMinTree checks every slot of a full batch against a
+// direct MinTree call, for several worker counts and length functions.
+func TestBatchMatchesDirectMinTree(t *testing.T) {
+	g, oracles := batchFixture(t, 6)
+	for _, workers := range []int{1, 2, 8} {
+		r := NewBatchRunner(g, oracles, workers)
+		for round := 0; round < 3; round++ {
+			d := lengthsFor(g, round)
+			results := r.MinTreesLen(d, nil)
+			if len(results) != len(oracles) {
+				t.Fatalf("workers=%d: %d results for %d oracles", workers, len(results), len(oracles))
+			}
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("workers=%d oracle %d: %v", workers, i, res.Err)
+				}
+				want, err := oracles[i].MinTree(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Tree.Key() != want.Key() {
+					t.Fatalf("workers=%d oracle %d: tree differs from direct call", workers, i)
+				}
+				if res.Len != want.LengthUnder(d) {
+					t.Fatalf("workers=%d oracle %d: len %v != %v", workers, i, res.Len, want.LengthUnder(d))
+				}
+			}
+			// The length-oblivious variant must return the same trees with
+			// Len left zero.
+			for i, res := range r.MinTrees(d, nil) {
+				if res.Len != 0 {
+					t.Fatalf("workers=%d oracle %d: MinTrees filled Len %v", workers, i, res.Len)
+				}
+				want, err := oracles[i].MinTree(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Tree.Key() != want.Key() {
+					t.Fatalf("workers=%d oracle %d: MinTrees tree differs", workers, i)
+				}
+			}
+		}
+		r.Close()
+		r.Close() // idempotent
+	}
+}
+
+// TestBatchSubsetEvaluation checks id-list batches: slots must align with the
+// id list, not the oracle indices, and shrinking pending sets (the MCF round
+// pattern) must keep working.
+func TestBatchSubsetEvaluation(t *testing.T) {
+	g, oracles := batchFixture(t, 8)
+	for _, workers := range []int{1, 3} {
+		r := NewBatchRunner(g, oracles, workers)
+		d := lengthsFor(g, 1)
+		for _, ids := range [][]int{{5, 1, 6}, {7}, {0, 2, 3, 4, 5, 6, 7, 1}} {
+			results := r.MinTrees(d, ids)
+			if len(results) != len(ids) {
+				t.Fatalf("workers=%d: %d results for ids %v", workers, len(results), ids)
+			}
+			for pos, i := range ids {
+				if results[pos].Err != nil {
+					t.Fatal(results[pos].Err)
+				}
+				want, err := oracles[i].MinTree(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if results[pos].Tree.Key() != want.Key() {
+					t.Fatalf("workers=%d ids=%v slot %d: wrong oracle's tree", workers, ids, pos)
+				}
+				if results[pos].Tree.SessionID != i {
+					t.Fatalf("workers=%d: slot %d carries session %d, want %d", workers, pos, results[pos].Tree.SessionID, i)
+				}
+			}
+		}
+		r.Close()
+	}
+}
+
+// TestBatchWorkersResolved pins the pool-size contract: <=0 means GOMAXPROCS
+// and the pool never exceeds the oracle count.
+func TestBatchWorkersResolved(t *testing.T) {
+	g, oracles := batchFixture(t, 3)
+	if w := NewBatchRunner(g, oracles, 0).Workers(); w < 1 || w > 3 {
+		t.Fatalf("auto workers = %d, want within [1,3]", w)
+	}
+	if w := NewBatchRunner(g, oracles, 64).Workers(); w != 3 {
+		t.Fatalf("oversized pool = %d, want clamp to 3 oracles", w)
+	}
+	r := NewBatchRunner(g, oracles, 1)
+	if r.Workers() != 1 {
+		t.Fatalf("workers=1 resolved to %d", r.Workers())
+	}
+	r.Close() // sequential runner: Close must be a no-op
+}
+
+// TestBatchOracleAllocs is the allocation regression gate for the batch
+// oracle hot path: a sequential full-batch evaluation may allocate only the
+// returned trees (pairs, routes, struct, use — a handful of allocations per
+// oracle), never per-call scratch.
+func TestBatchOracleAllocs(t *testing.T) {
+	g, oracles := batchFixture(t, 6)
+	r := NewBatchRunner(g, oracles, 1)
+	defer r.Close()
+	d := lengthsFor(g, 0)
+	ids := []int{0, 1, 2, 3, 4, 5}
+	r.MinTrees(d, ids) // warm up scratch growth
+	avg := testing.AllocsPerRun(50, func() {
+		res := r.MinTrees(d, ids)
+		if res[0].Err != nil {
+			t.Fatal(res[0].Err)
+		}
+	})
+	perOracle := avg / float64(len(ids))
+	if perOracle > 8 {
+		t.Fatalf("batch oracle path allocates %.1f allocs/oracle (avg %.1f/batch), want <= 8", perOracle, avg)
+	}
+}
+
+// BenchmarkBatchMinTrees measures one full sequential batch over the
+// fixture, for the bench-smoke tier.
+func BenchmarkBatchMinTrees(b *testing.B) {
+	g, oracles := batchFixture(b, 6)
+	r := NewBatchRunner(g, oracles, 1)
+	defer r.Close()
+	d := lengthsFor(g, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.MinTrees(d, nil)
+		if res[0].Err != nil {
+			b.Fatal(res[0].Err)
+		}
+	}
+}

@@ -191,7 +191,13 @@ func DefaultTwoLevel(ases, routersPerAS int) TwoLevelConfig {
 	}
 }
 
-// TwoLevel generates a connected two-level AS/router topology.
+// TwoLevel generates a connected two-level AS/router topology. Both the
+// AS-level skeleton and every per-AS router graph use the grid-accelerated
+// Waxman sampler (WaxmanGrid), so paper-scale and larger two-level
+// topologies (10 AS x 100+ routers, or hundreds of ASes) build in
+// milliseconds; edge sets for a fixed seed differ from the naive generator
+// the pre-grid releases used, but the degree and connectivity statistics
+// are identical (see TestWaxmanGridMatchesNaiveDistribution).
 func TwoLevel(cfg TwoLevelConfig, r *rng.RNG) (*Network, error) {
 	if cfg.ASes < 1 || cfg.RoutersPerAS < 1 {
 		return nil, fmt.Errorf("topology: two-level needs >=1 AS and router, got %d/%d", cfg.ASes, cfg.RoutersPerAS)
@@ -210,7 +216,7 @@ func TwoLevel(cfg TwoLevelConfig, r *rng.RNG) (*Network, error) {
 	}
 
 	// AS-level skeleton.
-	asNet, err := Waxman(WaxmanConfig{
+	asNet, err := WaxmanGrid(WaxmanConfig{
 		N: cfg.ASes, M: cfg.MAS, Capacity: cfg.Capacity,
 	}, r.Split(0))
 	if err != nil {
@@ -224,7 +230,7 @@ func TwoLevel(cfg TwoLevelConfig, r *rng.RNG) (*Network, error) {
 
 	// Router-level graph inside each AS, offset into the global id space.
 	for a := 0; a < cfg.ASes; a++ {
-		sub, err := Waxman(WaxmanConfig{
+		sub, err := WaxmanGrid(WaxmanConfig{
 			N: cfg.RoutersPerAS, M: cfg.MRouter, Capacity: cfg.Capacity,
 		}, r.Split(uint64(a)+1))
 		if err != nil {

@@ -114,31 +114,52 @@ func (sc *Scenario) Capacities(g *graph.Graph, r *rng.RNG) {
 	}
 }
 
-// Sessions draws count sessions over a topology of n nodes: a size, a
-// demand, and a distinct member set each, with members Zipf-skewed when the
-// scenario says so. Zipf ranks are mapped onto node ids through a seeded
+// MemberSampler draws distinct member sets over n nodes with a scenario's
+// node-popularity skew. Zipf ranks are mapped onto node ids through a seeded
 // random permutation shared by the whole instance: in the incremental
 // Waxman models, low node ids are the earliest-inserted, best-connected
 // nodes, so an identity mapping would systematically place every hot member
 // in the topology core. Member sampling falls back to uniform for sessions
 // spanning more than an eighth of the topology, where Zipf rejection would
 // stall on the tail.
+type MemberSampler struct {
+	n          int
+	zipf       *Zipf
+	rankToNode []int
+}
+
+// NewMemberSampler builds the scenario's member sampler for an n-node
+// topology. r seeds the shared rank permutation (consumed only for scenarios
+// with popularity skew, via r.Split(1<<32), so existing fixed-seed streams
+// are unchanged).
+func (sc *Scenario) NewMemberSampler(n int, r *rng.RNG) *MemberSampler {
+	ms := &MemberSampler{n: n}
+	if sc.PopularityExp > 0 {
+		ms.zipf = NewZipf(n, sc.PopularityExp)
+		ms.rankToNode = r.Split(1 << 32).Perm(n)
+	}
+	return ms
+}
+
+// Sample draws size distinct node ids from r.
+func (ms *MemberSampler) Sample(r *rng.RNG, size int) []graph.NodeID {
+	return sampleMembers(r, ms.zipf, ms.rankToNode, ms.n, size)
+}
+
+// Sessions draws count sessions over a topology of n nodes: a size, a
+// demand, and a distinct member set each, with members Zipf-skewed when the
+// scenario says so (see MemberSampler).
 func (sc *Scenario) Sessions(n, count int, r *rng.RNG) ([]*overlay.Session, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("workload: %d nodes cannot host sessions", n)
 	}
-	var zipf *Zipf
-	var rankToNode []int
-	if sc.PopularityExp > 0 {
-		zipf = NewZipf(n, sc.PopularityExp)
-		rankToNode = r.Split(1 << 32).Perm(n)
-	}
+	ms := sc.NewMemberSampler(n, r)
 	sessions := make([]*overlay.Session, count)
 	for i := 0; i < count; i++ {
 		sr := r.Split(uint64(i))
 		size := sc.Size.SampleSize(sr, n)
 		demand := sc.Demand.Sample(sr)
-		members := sampleMembers(sr, zipf, rankToNode, n, size)
+		members := ms.Sample(sr, size)
 		s, err := overlay.NewSession(i, members, demand)
 		if err != nil {
 			return nil, fmt.Errorf("workload: scenario %s session %d: %w", sc.Name, i, err)
