@@ -4,6 +4,11 @@ GO ?= go
 # CI trajectory run).
 BENCHFLAGS ?=
 
+# Free-form annotation recorded in BENCH_scale.json by bench-scale-json
+# (benchjson also auto-records the core count; use the note for anything the
+# number alone doesn't say, e.g. "1-core container, worker sweeps collapse").
+BENCHNOTE ?=
+
 .PHONY: all build test race fmt fmt-check vet bench bench-smoke bench-scale bench-scale-json clean
 
 all: build test
@@ -47,7 +52,7 @@ bench-scale:
 bench-scale-json:
 	$(MAKE) bench-scale BENCHFLAGS="-short -benchtime 1x" > bench-scale.txt || { cat bench-scale.txt; exit 1; }
 	cat bench-scale.txt
-	$(GO) run ./cmd/benchjson -in bench-scale.txt -out BENCH_scale.json -compare BENCH_scale.json
+	$(GO) run ./cmd/benchjson -in bench-scale.txt -out BENCH_scale.json -compare BENCH_scale.json -note "$(BENCHNOTE)"
 
 clean:
 	$(GO) clean ./...

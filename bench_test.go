@@ -597,6 +597,46 @@ func BenchmarkScaleParallelMCFHeavytail10k(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleZipfHotPlane measures the round-level shared SSSP plane on
+// the workloads it was built for: Zipf-hot arbitrary-routing scenarios where
+// many sessions share popular member nodes, so a MaxFlow iteration's batch
+// re-runs the same per-member Dijkstras once per session without the plane
+// and once per *distinct* member with it. The plane on/off pairs solve the
+// identical instance to bit-identical outputs (the determinism gate pins
+// this), so the ns/op ratio is a pure measure of the dedup win — the
+// acceptance threshold for this tier is plane-off >= 1.5x plane-on on both
+// scenarios, and the effect is algorithmic (fewer Dijkstras), so it shows on
+// any core count. MaxFlow is benchmarked rather than MCF because its batch
+// evaluates every session each iteration — the maximal-sharing regime; the
+// instance is sized (200 nodes, 48 sessions) so the four sub-benchmarks stay
+// affordable for CI's 1-iteration trajectory run, which is why this tier
+// does NOT skip under -short.
+func BenchmarkScaleZipfHotPlane(b *testing.B) {
+	for _, scenario := range []string{"cdn", "livestream"} {
+		for _, plane := range []bool{true, false} {
+			b.Run(fmt.Sprintf("%s/plane=%v", scenario, plane), func(b *testing.B) {
+				si := scaleInstance(b, experiments.ScaleConfig{Nodes: 200, Sessions: 48, Scenario: scenario, Arbitrary: true})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sol, err := core.MaxFlow(si.Problem, core.MaxFlowOptions{
+						Epsilon: 0.35, Parallel: true, DisablePlane: !plane,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sol.OverallThroughput() <= 0 {
+						b.Fatal("zero throughput")
+					}
+					if plane && sol.Plane.PlaneSources == 0 {
+						b.Fatal("plane never fired")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkScaleChurnReplay measures the scenario-driven online/churn
 // harness end to end (trace generation, parallel oracle prefabrication,
 // sequential replay) on a 2,000-node cdn instance.

@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,9 +45,15 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// Document is the BENCH_*.json schema.
+// Document is the BENCH_*.json schema. Cores records the recording machine's
+// logical CPU count (GOMAXPROCS at conversion time): the worker-sweep
+// benchmarks (BenchmarkScaleParallel*) collapse to the sequential baseline on
+// single-core runners, so a trajectory entry is only comparable to baselines
+// recorded at a similar core count — see the ROADMAP multicore caveat.
 type Document struct {
 	Schema     string            `json:"schema"`
+	Cores      int               `json:"cores,omitempty"`
+	Note       string            `json:"note,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -59,6 +66,7 @@ func main() {
 	out := flag.String("out", "", "JSON output file (default stdout)")
 	compare := flag.String("compare", "", "previous JSON document to diff against (missing file = no comparison)")
 	maxRegress := flag.Float64("maxregress", 0, "fail (exit 1) when any ns/op regresses by more than this percentage vs -compare (0 = informational only)")
+	note := flag.String("note", "", "free-form annotation recorded in the document (e.g. runner caveats)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -77,6 +85,8 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
+	doc.Cores = runtime.GOMAXPROCS(0)
+	doc.Note = *note
 
 	var prev *Document
 	if *compare != "" {
@@ -103,6 +113,15 @@ func main() {
 
 	if prev != nil {
 		printComparison(os.Stdout, prev, doc)
+		if *maxRegress > 0 && prev.Cores != 0 && prev.Cores != doc.Cores {
+			// Cross-core-count comparisons move the worker-sweep benchmarks
+			// for machine reasons alone (see the Document doc comment), so a
+			// hard gate would fail spuriously or mask real regressions;
+			// downgrade to informational and say why.
+			fmt.Fprintf(os.Stderr, "benchjson: baseline recorded on %d cores, this run on %d — regression gate skipped (informational comparison only)\n",
+				prev.Cores, doc.Cores)
+			*maxRegress = 0
+		}
 		if *maxRegress > 0 {
 			if bad := regressions(prev, doc, *maxRegress); len(bad) > 0 {
 				fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed ns/op by more than %.0f%%:\n", len(bad), *maxRegress)

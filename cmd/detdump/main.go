@@ -1,15 +1,17 @@
 // Command detdump prints a full-precision fingerprint of solver outputs on
 // deterministic instances, used to verify that refactors keep solutions
 // bit-identical for fixed seeds. The CI determinism gate runs it at worker
-// counts 1, 2, and 8 and diffs the outputs: solver results must be a
-// function of the seed only, never of the worker-pool size or goroutine
-// scheduling. Perf refactors additionally diff it against the dump from the
-// pre-change tree.
+// counts 1, 2, and 8, with the shared SSSP plane enabled and disabled
+// (-plane=false), and diffs the outputs: solver results must be a function
+// of the seed only, never of the worker-pool size, goroutine scheduling, or
+// whether per-member Dijkstras were batched on the plane. Perf refactors
+// additionally diff it against the dump from the pre-change tree.
 //
 // The fingerprint covers the paper's Setting-A instances under both routing
 // modes, grid-Waxman workload-scenario instances (heterogeneous
-// capacities/demands, Zipf membership), and a scenario-driven online/churn
-// replay.
+// capacities/demands, Zipf membership), a scenario-driven online/churn
+// replay, and a Zipf-hot arbitrary-routing instance where the plane serves
+// most per-member Dijkstra reads.
 package main
 
 import (
@@ -22,7 +24,9 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "oracle worker-pool size (0 = GOMAXPROCS); output must not depend on it")
+	plane := flag.Bool("plane", true, "enable the round-level shared SSSP plane; output must not depend on it")
 	flag.Parse()
+	disablePlane := !*plane
 
 	for _, arb := range []bool{false, true} {
 		a, err := experiments.NewSettingA(7, experiments.SettingAConfig{
@@ -32,11 +36,12 @@ func main() {
 			panic(err)
 		}
 		a.SolverWorkers = *workers
+		a.SolverDisablePlane = disablePlane
 		p := a.ProblemIP
 		if arb {
 			p = a.ProblemArb
 		}
-		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers})
+		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers, DisablePlane: disablePlane})
 		if err != nil {
 			panic(err)
 		}
@@ -50,7 +55,7 @@ func main() {
 			}
 		}
 		mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
-			Epsilon: 0.1, Parallel: true, SurplusPass: true, Workers: *workers,
+			Epsilon: 0.1, Parallel: true, SurplusPass: true, Workers: *workers, DisablePlane: disablePlane,
 		})
 		if err != nil {
 			panic(err)
@@ -73,7 +78,7 @@ func main() {
 
 	for _, scenario := range []string{"heavytail", "cdn"} {
 		si, err := experiments.NewScaleInstance(2026, experiments.ScaleConfig{
-			Nodes: 300, Sessions: 10, Scenario: scenario, Workers: *workers,
+			Nodes: 300, Sessions: 10, Scenario: scenario, Workers: *workers, DisablePlane: disablePlane,
 		})
 		if err != nil {
 			panic(err)
@@ -104,7 +109,7 @@ func main() {
 	// leak into the sequential replay's outputs.
 	for _, scenario := range []string{"conferencing", "livestream"} {
 		rep, err := experiments.ChurnRun(2027, experiments.ChurnConfig{
-			Nodes: 300, Scenario: scenario, Workers: *workers,
+			Nodes: 300, Scenario: scenario, Workers: *workers, DisablePlane: disablePlane,
 		})
 		if err != nil {
 			panic(err)
@@ -112,5 +117,29 @@ func main() {
 		fmt.Printf("churn=%s sessions=%d peak=%d maxcong=%.17g active=%d thpt=%.17g minrate=%.17g mstops=%d\n",
 			scenario, rep.Sessions, rep.PeakConcurrency, rep.PeakCongestion,
 			rep.FinalActive, rep.Throughput, rep.MinRate, rep.MSTOps)
+	}
+
+	// Arbitrary routing under Zipf-hot membership: many sessions sharing hot
+	// member nodes is exactly the regime the shared SSSP plane rebatches, so
+	// pin a fingerprint where the plane serves most per-member Dijkstras.
+	si, err := experiments.NewScaleInstance(2028, experiments.ScaleConfig{
+		Nodes: 150, Sessions: 12, Scenario: "cdn", Arbitrary: true,
+		Workers: *workers, DisablePlane: disablePlane,
+	})
+	if err != nil {
+		panic(err)
+	}
+	zmf, err := si.MaxFlow(0.3, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("zipfarb=cdn maxflow thpt=%.17g mstops=%d\n", zmf.OverallThroughput(), zmf.MSTOps)
+	for i := range si.Sessions {
+		fmt.Printf("  rate[%d]=%.17g trees=%d\n", i, zmf.SessionRate(i), zmf.TreeCount(i))
+	}
+	for e, u := range zmf.Utilizations() {
+		if e%37 == 0 {
+			fmt.Printf("  util[%d]=%.17g\n", e, u)
+		}
 	}
 }

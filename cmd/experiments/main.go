@@ -16,7 +16,10 @@
 // -workers sets the solvers' oracle worker-pool size (0 = GOMAXPROCS for
 // the scale tier, sequential solves for the sweep tiers, which already
 // parallelize across rows/cells/trials). Solver outputs are bit-identical
-// for every worker count — the knob moves wall-clock only.
+// for every worker count — the knob moves wall-clock only. -plane=false
+// disables the shared SSSP plane on the scale/churn tiers (outputs are
+// plane-independent too; scale/churn rows print the plane's dedup factor
+// when it fired).
 //
 // The churn experiment replays a scenario-driven arrival/departure trace
 // through the online allocator (sizes, demands, and member popularity from
@@ -70,6 +73,7 @@ func main() {
 	sessionSize := flag.Int("sessionsize", 6, "scale experiment: custom members per session")
 	scenario := flag.String("scenario", "", "scale experiment: workload scenarios, comma-separated (all | list | names)")
 	workers := flag.Int("workers", 0, "solver oracle worker-pool size (0 = auto); outputs are worker-count independent")
+	plane := flag.Bool("plane", true, "enable the round-level shared SSSP plane (scale/churn tiers); outputs are plane-independent")
 	flag.Parse()
 
 	if *scenario == "list" {
@@ -100,7 +104,7 @@ func main() {
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
 		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize, scenario: *scenario,
-		workers: *workers}
+		workers: *workers, disablePlane: !*plane}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "sessionsize" {
 			r.sessionSizeSet = true
@@ -127,6 +131,7 @@ type runner struct {
 	sessionSizeSet bool // -sessionsize given explicitly (conflicts with -scenario)
 	scenario       string
 	workers        int
+	disablePlane   bool
 
 	settingA *experiments.SettingA
 	settingB *experiments.SettingB
@@ -452,6 +457,7 @@ func (r *runner) run(exp string) error {
 		}
 		for ci := range cfgs {
 			cfgs[ci].Workers = r.workers
+			cfgs[ci].DisablePlane = r.disablePlane
 		}
 		rows, err := experiments.ScaleSuite(r.seed, 0.3, true, cfgs)
 		if err != nil {
@@ -476,7 +482,7 @@ func (r *runner) run(exp string) error {
 				nodes = 2000
 			}
 		}
-		reports, err := experiments.ChurnSuite(r.seed, nodes, r.workers, names)
+		reports, err := experiments.ChurnSuite(r.seed, nodes, r.workers, r.disablePlane, names)
 		if err != nil {
 			return err
 		}

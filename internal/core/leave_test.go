@@ -19,7 +19,7 @@ func ringOracle(t testing.TB, g *graph.Graph, rt *routing.IPRoutes, id int, memb
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, err := overlay.NewArbitraryOracle(g, rt, s)
+	o, err := overlay.NewArbitraryOracle(g, s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,10 @@ type MaxConcurrentFlowOptions struct {
 	// used as given, so Workers=1 forces the sequential path. Outputs are
 	// bit-identical for every worker count.
 	Workers int
+	// DisablePlane turns off the round-level shared SSSP plane in every
+	// batched oracle round (phase loop, beta prestep, surplus pass); see
+	// MaxFlowOptions.DisablePlane. Outputs are bit-identical either way.
+	DisablePlane bool
 	// SurplusPass, when set, routes additional MaxFlow-style traffic on the
 	// residual capacities after the fair share is secured. The paper's
 	// Table IV rates exceed lambda·dem(i) for the larger session, which is
@@ -52,6 +56,11 @@ type MCFResult struct {
 	// per-session maximum flows beta_i used for demand scaling — the second
 	// running-time component reported in Table IV.
 	PrestepMSTOps int
+	// PrestepPlane aggregates the beta prestep's plane counters, kept apart
+	// from Solution.Plane: each prestep subproblem has one session, whose
+	// plane dedups exactly 1.0, so folding these in would dilute the phase
+	// loop's cross-session dedup ratio.
+	PrestepPlane overlay.Metrics
 	// Betas are the single-session maximum flow values.
 	Betas []float64
 }
@@ -93,26 +102,30 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	// keeping betas, MSTOps, and errors identical to a sequential pass.
 	betas := make([]float64, k)
 	perSessionOps := make([]int, k)
+	perSessionPlane := make([]overlay.Metrics, k)
 	prestepErrs := make([]error, k)
 	parallelFor(workers, k, func(i int) {
 		sub := singleSessionProblem(p, i)
-		mf, err := MaxFlow(sub, MaxFlowOptions{Epsilon: eps, Workers: 1})
+		mf, err := MaxFlow(sub, MaxFlowOptions{Epsilon: eps, Workers: 1, DisablePlane: opts.DisablePlane})
 		if err != nil {
 			prestepErrs[i] = fmt.Errorf("core: beta prestep session %d: %w", i, err)
 			return
 		}
 		betas[i] = mf.SessionRate(0)
 		perSessionOps[i] = mf.MSTOps
+		perSessionPlane[i] = mf.Plane
 		if betas[i] <= 0 {
 			prestepErrs[i] = fmt.Errorf("core: session %d has zero max flow", i)
 		}
 	})
 	prestepOps := 0
+	var prestepPlane overlay.Metrics
 	for i := 0; i < k; i++ {
 		if prestepErrs[i] != nil {
 			return nil, prestepErrs[i]
 		}
 		prestepOps += perSessionOps[i]
+		prestepPlane.Merge(perSessionPlane[i])
 	}
 	// zeta = min_i beta_i/dem(i) upper-bounds lambda*; scaling demands by
 	// zeta/k puts the scaled optimum in [1, k].
@@ -156,7 +169,10 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	// The phase loop fans each round of pending-session oracle calls out to
 	// the persistent worker pool (per-worker scratch); the pool outlives all
 	// phases, so goroutines and buffers are built exactly once per solve.
-	runner := overlay.NewBatchRunner(p.G, p.Oracles, workers)
+	runner := overlay.NewBatchRunnerOpts(p.G, p.Oracles, overlay.BatchOptions{
+		Workers:     workers,
+		SharedPlane: !opts.DisablePlane,
+	})
 	defer runner.Close()
 	rem := make([]float64, k)
 	pending := make([]int, 0, k)
@@ -229,13 +245,19 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 
 	sol := acc.sol
 	sol.Phases = phases
+	// Phase-loop counters only: the beta prestep's single-session planes
+	// dedup exactly 1.0 by construction (members within a session are
+	// distinct), so merging them here would drag the reported dedup factor
+	// toward 1 and hide the cross-session sharing the metric exists to
+	// surface. They are reported separately on MCFResult.PrestepPlane.
+	sol.Plane = runner.Metrics()
 	// Exact feasibility scaling, uniform across sessions (preserves the
 	// fairness ratios); upper-bounded by the Lemma 4 factor
 	// log_{1+eps}(1/delta).
 	if cong := sol.MaxCongestion(); cong > 0 {
 		sol.Scale(1 / cong)
 	}
-	res := &MCFResult{Solution: sol, PrestepMSTOps: prestepOps, Betas: betas}
+	res := &MCFResult{Solution: sol, PrestepMSTOps: prestepOps, PrestepPlane: prestepPlane, Betas: betas}
 	res.Lambda = sol.ConcurrentRatio()
 
 	if opts.SurplusPass {
@@ -243,7 +265,7 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 		if seps == 0 {
 			seps = eps
 		}
-		if err := addSurplus(p, sol, seps, opts.Parallel, opts.Workers); err != nil {
+		if err := addSurplus(p, sol, seps, opts); err != nil {
 			return nil, err
 		}
 		sol.ScaleToFeasible()
@@ -266,7 +288,7 @@ func singleSessionProblem(p *Problem, i int) *Problem {
 // addSurplus runs a MaxFlow pass on the residual capacities left by sol and
 // merges the extra flow into sol. Edge identities are preserved because the
 // residual graph has the same (sorted) edge set.
-func addSurplus(p *Problem, sol *Solution, eps float64, parallel bool, workers int) error {
+func addSurplus(p *Problem, sol *Solution, eps float64, opts MaxConcurrentFlowOptions) error {
 	load := sol.LinkFlows()
 	b := graph.NewBuilder(p.G.NumNodes())
 	const floorCap = 1e-9 // builder requires positive capacities
@@ -284,11 +306,14 @@ func addSurplus(p *Problem, sol *Solution, eps float64, parallel bool, workers i
 	if err != nil {
 		return fmt.Errorf("core: surplus problem: %w", err)
 	}
-	extra, err := MaxFlow(rp, MaxFlowOptions{Epsilon: eps, Parallel: parallel, Workers: workers})
+	extra, err := MaxFlow(rp, MaxFlowOptions{
+		Epsilon: eps, Parallel: opts.Parallel, Workers: opts.Workers, DisablePlane: opts.DisablePlane,
+	})
 	if err != nil {
 		return fmt.Errorf("core: surplus pass: %w", err)
 	}
 	sol.MSTOps += extra.MSTOps
+	sol.Plane.Merge(extra.Plane)
 	// Trees from the residual problem reference identical edge ids; merge.
 	acc := &flowAccumulator{sol: sol, index: make([]map[uint64]int, len(sol.Flows))}
 	for i := range acc.index {

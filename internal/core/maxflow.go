@@ -22,6 +22,12 @@ type MaxFlowOptions struct {
 	// used as given, so Workers=1 forces the sequential path. Outputs are
 	// bit-identical for every worker count.
 	Workers int
+	// DisablePlane turns off the round-level shared SSSP plane that
+	// deduplicates per-member Dijkstra work across arbitrary-routing
+	// sessions within each oracle batch (see overlay.BatchRunner). Outputs
+	// are bit-identical with the plane on or off; the toggle exists for the
+	// determinism gate and perf comparisons. Irrelevant under fixed routing.
+	DisablePlane bool
 	// MaxIterations overrides the default safety bound (0 = automatic).
 	MaxIterations int
 }
@@ -72,7 +78,10 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 	// One worker pool plus per-worker scratch for the whole run: the oracle
 	// fan-out below executes every iteration, and rebuilding goroutines and
 	// buffers each time used to dominate the solver's allocation profile.
-	runner := overlay.NewBatchRunner(p.G, p.Oracles, resolveWorkers(opts.Parallel, opts.Workers))
+	runner := overlay.NewBatchRunnerOpts(p.G, p.Oracles, overlay.BatchOptions{
+		Workers:     resolveWorkers(opts.Parallel, opts.Workers),
+		SharedPlane: !opts.DisablePlane,
+	})
 	defer runner.Close()
 
 	maxIter := opts.MaxIterations
@@ -119,6 +128,7 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 	}
 
 	sol := acc.sol
+	sol.Plane = runner.Metrics()
 	// Lemma 2 scaling: dividing by log_{1+eps}((1+eps)/delta) is feasible;
 	// dividing by the measured congestion is never worse and is exactly
 	// feasible, so use it (it is upper-bounded by the lemma's factor).

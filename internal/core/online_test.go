@@ -60,12 +60,11 @@ func TestOnlineSpreadsLoadAcrossRing(t *testing.T) {
 	// session — its route is pinned.)
 	net, _ := topology.Ring(4, 10)
 	g := net.Graph
-	rt := routing.NewIPRoutes(g, []graph.NodeID{0, 1, 2, 3})
 	o, _ := core.NewOnline(g, 10)
 	var trees []*overlay.Tree
 	for i := 0; i < 2; i++ {
 		s, _ := overlay.NewSession(i, []graph.NodeID{0, 2}, 1)
-		oracle, err := overlay.NewArbitraryOracle(g, rt, s)
+		oracle, err := overlay.NewArbitraryOracle(g, s)
 		if err != nil {
 			t.Fatal(err)
 		}

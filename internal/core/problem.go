@@ -97,11 +97,16 @@ func NewProblemWeighted(g *graph.Graph, sessions []*overlay.Session, mode Routin
 		}
 		members = append(members, s.Members...)
 	}
+	// Fixed route tables are only needed in IP mode; the arbitrary oracle
+	// recomputes routes under the solver's lengths, so building per-member
+	// shortest-path trees here would be pure constructor waste.
 	var rt *routing.IPRoutes
-	if routeWeights != nil {
-		rt = routing.NewWeightedIPRoutes(g, members, routeWeights)
-	} else {
-		rt = routing.NewIPRoutes(g, members)
+	if mode == RoutingIP {
+		if routeWeights != nil {
+			rt = routing.NewWeightedIPRoutes(g, members, routeWeights)
+		} else {
+			rt = routing.NewIPRoutes(g, members)
+		}
 	}
 
 	p := &Problem{G: g, Sessions: sessions, Mode: mode, RouteWeights: routeWeights}
@@ -112,7 +117,7 @@ func NewProblemWeighted(g *graph.Graph, sessions []*overlay.Session, mode Routin
 		case RoutingIP:
 			o, err = overlay.NewFixedOracle(g, rt, s)
 		case RoutingArbitrary:
-			o, err = overlay.NewArbitraryOracle(g, rt, s)
+			o, err = overlay.NewArbitraryOracle(g, s)
 		default:
 			err = fmt.Errorf("core: unknown routing mode %d", mode)
 		}

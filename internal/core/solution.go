@@ -28,6 +28,13 @@ type Solution struct {
 	MSTOps int
 	// Phases counts outer phases for phase-structured algorithms.
 	Phases int
+	// Plane aggregates the shared-SSSP-plane counters of the multi-session
+	// batch runners that contributed to the solution (the phase/iteration
+	// loop and, for MCF, the surplus pass — NOT the beta prestep, whose
+	// single-session planes dedup 1.0 by construction and are reported on
+	// MCFResult.PrestepPlane instead). Zero when the plane was disabled or
+	// the oracles are fixed-routing; diagnostic only — never affects rates.
+	Plane overlay.Metrics
 }
 
 // newSolution allocates an empty solution shell for p.

@@ -5,6 +5,7 @@ import (
 
 	"overcast/internal/core"
 	"overcast/internal/graph"
+	"overcast/internal/overlay"
 	"overcast/internal/rng"
 	"overcast/internal/topology"
 )
@@ -107,6 +108,43 @@ func TestMCFBitIdenticalAcrossWorkerCounts(t *testing.T) {
 				}
 			}
 			sameSolution(t, mode.String(), base.Solution, res.Solution)
+		}
+	}
+}
+
+// TestPlaneToggleBitIdentical pins the shared-SSSP-plane invariant: for both
+// routing modes and every worker count, disabling the plane must reproduce
+// the enabled run bit for bit (distances from an identical Dijkstra over an
+// identical snapshot are bitwise equal regardless of which stage computes
+// them). Under arbitrary routing the enabled run must actually have used the
+// plane, so the test cannot pass vacuously.
+func TestPlaneToggleBitIdentical(t *testing.T) {
+	for _, mode := range []core.RoutingMode{core.RoutingIP, core.RoutingArbitrary} {
+		p := workerSweepProblem(t, mode)
+		var base *core.MCFResult
+		for _, w := range workerCounts {
+			for _, disable := range []bool{false, true} {
+				res, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
+					Epsilon: 0.12, Parallel: true, Workers: w, SurplusPass: true, DisablePlane: disable,
+				})
+				if err != nil {
+					t.Fatalf("mode=%v workers=%d disable=%v: %v", mode, w, disable, err)
+				}
+				if mode == core.RoutingArbitrary && !disable && res.Plane.PlaneSources == 0 {
+					t.Fatalf("workers=%d: arbitrary-mode MCF never used the plane", w)
+				}
+				if disable && res.Plane != (overlay.Metrics{}) {
+					t.Fatalf("workers=%d: plane disabled but counters %+v", w, res.Plane)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if res.Lambda != base.Lambda {
+					t.Fatalf("mode=%v workers=%d disable=%v: lambda %.17g != %.17g", mode, w, disable, res.Lambda, base.Lambda)
+				}
+				sameSolution(t, mode.String(), base.Solution, res.Solution)
+			}
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"overcast/internal/churn"
 	"overcast/internal/core"
+	"overcast/internal/graph"
 	"overcast/internal/overlay"
 	"overcast/internal/rng"
 	"overcast/internal/routing"
@@ -39,6 +40,11 @@ type ChurnConfig struct {
 	// replay itself is sequential by construction, so results are
 	// bit-identical for every worker count.
 	Workers int
+	// DisablePlane turns off the shared SSSP plane during fixed-routing
+	// oracle prefabrication (one weighted Dijkstra per *distinct* member
+	// instead of per session-member pair). Outputs are bit-identical either
+	// way; the toggle exists for the determinism gate and perf comparisons.
+	DisablePlane bool
 }
 
 func (c *ChurnConfig) normalize() error {
@@ -76,6 +82,11 @@ type ChurnReport struct {
 	// departures were clipped to the horizon).
 	FinalActive int
 	MSTOps      int
+	// Plane reports the prefabrication plane's dedup counters: one round,
+	// PlaneSources distinct member Dijkstras serving PlaneRequests
+	// session-member route-table slots. Zero when disabled or in arbitrary
+	// mode (which prefabricates no route tables at all).
+	Plane overlay.Metrics
 	// Throughput and MinRate describe the feasible allocation of the
 	// sessions still active at the horizon (zero when none survive).
 	Throughput float64
@@ -86,9 +97,13 @@ type ChurnReport struct {
 
 // String renders the report for cmd/experiments output.
 func (r ChurnReport) String() string {
-	return fmt.Sprintf("%-13s n=%-6d |E|=%-6d sessions=%-5d peak=%-4d maxcong=%-10.3f active=%-4d thpt=%-12.2f minrate=%-10.4f mstops=%-5d build=%-10v replay=%v",
+	plane := ""
+	if r.Plane.PlaneRounds > 0 {
+		plane = fmt.Sprintf(" dedup=%.2fx", r.Plane.PlaneDedup())
+	}
+	return fmt.Sprintf("%-13s n=%-6d |E|=%-6d sessions=%-5d peak=%-4d maxcong=%-10.3f active=%-4d thpt=%-12.2f minrate=%-10.4f mstops=%-5d%s build=%-10v replay=%v",
 		r.Config.Scenario, r.Config.Nodes, r.Edges, r.Sessions, r.PeakConcurrency,
-		r.PeakCongestion, r.FinalActive, r.Throughput, r.MinRate, r.MSTOps,
+		r.PeakCongestion, r.FinalActive, r.Throughput, r.MinRate, r.MSTOps, plane,
 		r.BuildTime.Round(time.Millisecond), r.ReplayTime.Round(time.Millisecond))
 }
 
@@ -128,12 +143,35 @@ func ChurnRun(seed uint64, cfg ChurnConfig) (*ChurnReport, error) {
 	// Prefabricate the per-session route tables and oracles: independent of
 	// allocator state, so they batch across the worker pool with i-indexed
 	// result slots (scheduling cannot change the replay's inputs).
+	//
+	// Every fixed-routing table derives from the same static delay snapshot,
+	// so the trace-wide member union's weighted Dijkstra trees are computed
+	// once on a shared SSSP plane and each session's table is assembled from
+	// plane rows — sessions sharing Zipf-hot members stop recomputing each
+	// other's trees. Plane rows are read-only after Fill, so the assembly
+	// fan-out below may read them concurrently. Arbitrary mode prefabricates
+	// no route tables at all (the dynamic oracle routes under the
+	// allocator's lengths).
 	delays := net.LinkDelays()
 	oracles := make([]overlay.TreeOracle, len(trace.Sessions))
 	oracleErrs := make([]error, len(trace.Sessions))
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	var plane *overlay.Plane
+	var planeMetrics overlay.Metrics
+	if !cfg.Arbitrary && !cfg.DisablePlane {
+		plane = overlay.NewPlane(net.Graph)
+		requests := 0
+		for _, spec := range trace.Sessions {
+			requests += len(spec.Members)
+			for _, m := range spec.Members {
+				plane.Stage(m)
+			}
+		}
+		plane.Fill(delays, workers)
+		planeMetrics = overlay.Metrics{PlaneRounds: 1, PlaneSources: plane.NumSources(), PlaneRequests: requests}
 	}
 	parallelWorkers(workers, len(trace.Sessions), func(i int) {
 		spec := trace.Sessions[i]
@@ -142,12 +180,25 @@ func ChurnRun(seed uint64, cfg ChurnConfig) (*ChurnReport, error) {
 			oracleErrs[i] = err
 			return
 		}
-		rt := routing.NewWeightedIPRoutes(net.Graph, s.Members, delays)
 		if cfg.Arbitrary {
-			oracles[i], oracleErrs[i] = overlay.NewArbitraryOracle(net.Graph, rt, s)
-		} else {
-			oracles[i], oracleErrs[i] = overlay.NewFixedOracle(net.Graph, rt, s)
+			oracles[i], oracleErrs[i] = overlay.NewArbitraryOracle(net.Graph, s)
+			return
 		}
+		var rt *routing.IPRoutes
+		if plane != nil {
+			rt = routing.NewWeightedIPRoutesFromTrees(net.Graph, s.Members, func(src graph.NodeID) []graph.EdgeID {
+				_, parent, ok := plane.Lookup(src)
+				if !ok {
+					// Every trace member was staged above; reaching this
+					// means the trace and plane disagree.
+					panic(fmt.Sprintf("experiments: churn member %d missing from prefab plane", src))
+				}
+				return parent
+			})
+		} else {
+			rt = routing.NewWeightedIPRoutes(net.Graph, s.Members, delays)
+		}
+		oracles[i], oracleErrs[i] = overlay.NewFixedOracle(net.Graph, rt, s)
 	})
 	for i, err := range oracleErrs {
 		if err != nil {
@@ -164,6 +215,7 @@ func ChurnRun(seed uint64, cfg ChurnConfig) (*ChurnReport, error) {
 	rep := &ChurnReport{
 		Config: cfg, Edges: net.Graph.NumEdges(),
 		Sessions: len(trace.Sessions), PeakConcurrency: trace.PeakConcurrency(),
+		Plane:     planeMetrics,
 		BuildTime: build,
 	}
 	arrivalIdx := make(map[int]int, len(trace.Sessions))
@@ -207,7 +259,7 @@ func ChurnRun(seed uint64, cfg ChurnConfig) (*ChurnReport, error) {
 // scenarios when the list is empty) with shared arrival parameters. Seeds
 // derive from the base seed and the scenario index, so the suite is fully
 // deterministic.
-func ChurnSuite(seed uint64, nodes int, workers int, scenarios []string) ([]ChurnReport, error) {
+func ChurnSuite(seed uint64, nodes int, workers int, disablePlane bool, scenarios []string) ([]ChurnReport, error) {
 	if len(scenarios) == 0 {
 		scenarios = workload.Names()
 	}
@@ -216,7 +268,7 @@ func ChurnSuite(seed uint64, nodes int, workers int, scenarios []string) ([]Chur
 		if _, err := workload.Get(name); err != nil {
 			return nil, err
 		}
-		rep, err := ChurnRun(seed+uint64(si), ChurnConfig{Nodes: nodes, Scenario: name, Workers: workers})
+		rep, err := ChurnRun(seed+uint64(si), ChurnConfig{Nodes: nodes, Scenario: name, Workers: workers, DisablePlane: disablePlane})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: churn %s: %w", name, err)
 		}

@@ -58,7 +58,7 @@ func TestChurnRunScenarioShapes(t *testing.T) {
 }
 
 func TestChurnSuite(t *testing.T) {
-	reports, err := ChurnSuite(11, 150, 0, []string{"uniform", "heavytail"})
+	reports, err := ChurnSuite(11, 150, 0, false, []string{"uniform", "heavytail"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,10 +73,43 @@ func TestChurnSuite(t *testing.T) {
 			t.Fatalf("report render missing scenario: %s", rep.String())
 		}
 	}
-	if _, err := ChurnSuite(11, 150, 0, []string{"bogus"}); err == nil {
+	if _, err := ChurnSuite(11, 150, 0, false, []string{"bogus"}); err == nil {
 		t.Fatal("bogus scenario accepted")
 	}
 	if _, err := ChurnRun(1, ChurnConfig{Nodes: 2}); err == nil {
 		t.Fatal("tiny topology accepted")
+	}
+}
+
+// TestChurnRunPlaneToggleBitIdentical replays the same trace with the
+// prefabrication plane on and off, across worker counts: the shared SSSP
+// rows must hand every session exactly the route tables it would have built
+// itself, so the sequential replay's outputs are bit-identical. With the
+// plane on, the report must show the dedup actually happened (PlaneSources
+// strictly below PlaneRequests on a Zipf-hot scenario).
+func TestChurnRunPlaneToggleBitIdentical(t *testing.T) {
+	var base *ChurnReport
+	for _, disable := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			rep, err := ChurnRun(43, ChurnConfig{Nodes: 200, Scenario: "livestream", Workers: workers, DisablePlane: disable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if disable {
+				if rep.Plane.PlaneRounds != 0 {
+					t.Fatalf("plane disabled but counters %+v", rep.Plane)
+				}
+			} else if rep.Plane.PlaneSources == 0 || rep.Plane.PlaneSources >= rep.Plane.PlaneRequests {
+				t.Fatalf("prefab plane did not dedup: %+v", rep.Plane)
+			}
+			if base == nil {
+				base = rep
+				continue
+			}
+			if rep.PeakCongestion != base.PeakCongestion || rep.Throughput != base.Throughput ||
+				rep.MinRate != base.MinRate || rep.FinalActive != base.FinalActive || rep.MSTOps != base.MSTOps {
+				t.Fatalf("plane toggle changed replay outputs (disable=%v workers=%d):\n%+v\nvs\n%+v", disable, workers, base, rep)
+			}
+		}
 	}
 }

@@ -38,6 +38,10 @@ type ScaleConfig struct {
 	// solver outputs are bit-identical for every worker count, and the
 	// instance itself (topology, sessions) never depends on it.
 	Workers int
+	// DisablePlane turns off the solvers' round-level shared SSSP plane
+	// (see core.MaxFlowOptions.DisablePlane). Like Workers, it affects
+	// wall-clock only, never outputs or the instance.
+	DisablePlane bool
 }
 
 func (c *ScaleConfig) normalize() error {
@@ -146,14 +150,18 @@ func NewScaleInstance(seed uint64, cfg ScaleConfig) (*ScaleInstance, error) {
 // MaxFlow solves the M1 FPTAS on the instance with the config's worker-pool
 // size.
 func (si *ScaleInstance) MaxFlow(eps float64, parallel bool) (*core.Solution, error) {
-	return core.MaxFlow(si.Problem, core.MaxFlowOptions{Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers})
+	return core.MaxFlow(si.Problem, core.MaxFlowOptions{
+		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers, DisablePlane: si.Config.DisablePlane,
+	})
 }
 
 // MCF solves the M2 FPTAS on the instance (no surplus pass: the scale tier
 // measures the core phase loop, not the back-fill heuristic) with the
 // config's worker-pool size.
 func (si *ScaleInstance) MCF(eps float64, parallel bool) (*core.MCFResult, error) {
-	return core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers})
+	return core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{
+		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers, DisablePlane: si.Config.DisablePlane,
+	})
 }
 
 // ScaleRow is one solved scenario of a scale suite run.
@@ -164,8 +172,11 @@ type ScaleRow struct {
 	Throughput float64
 	Lambda     float64 // MCF only
 	MSTOps     int
-	BuildTime  time.Duration
-	SolveTime  time.Duration
+	// Plane carries the solver's shared-SSSP-plane counters (zero under
+	// fixed routing or with the plane disabled).
+	Plane     overlay.Metrics
+	BuildTime time.Duration
+	SolveTime time.Duration
 }
 
 // String renders the row for cmd/experiments output.
@@ -173,6 +184,9 @@ func (r ScaleRow) String() string {
 	extra := ""
 	if r.Solver == "mcf" {
 		extra = fmt.Sprintf(" lambda=%.4f", r.Lambda)
+	}
+	if r.Plane.PlaneRounds > 0 {
+		extra += fmt.Sprintf(" dedup=%.2fx", r.Plane.PlaneDedup())
 	}
 	return fmt.Sprintf("%-22s |E|=%-6d %-7s thpt=%-12.2f%s mstops=%-7d build=%-10v solve=%v",
 		r.Config.Name(), r.Edges, r.Solver, r.Throughput, extra, r.MSTOps,
@@ -199,7 +213,7 @@ func ScaleSuite(seed uint64, eps float64, parallel bool, cfgs []ScaleConfig) ([]
 		}
 		rows = append(rows, ScaleRow{
 			Config: si.Config, Edges: si.Net.Graph.NumEdges(), Solver: "maxflow",
-			Throughput: mf.OverallThroughput(), MSTOps: mf.MSTOps,
+			Throughput: mf.OverallThroughput(), MSTOps: mf.MSTOps, Plane: mf.Plane,
 			BuildTime: build, SolveTime: time.Since(start),
 		})
 
@@ -211,7 +225,7 @@ func ScaleSuite(seed uint64, eps float64, parallel bool, cfgs []ScaleConfig) ([]
 		rows = append(rows, ScaleRow{
 			Config: si.Config, Edges: si.Net.Graph.NumEdges(), Solver: "mcf",
 			Throughput: mcf.OverallThroughput(), Lambda: mcf.Lambda, MSTOps: mcf.MSTOps,
-			BuildTime: build, SolveTime: time.Since(start),
+			Plane: mcf.Plane, BuildTime: build, SolveTime: time.Since(start),
 		})
 	}
 	return rows, nil

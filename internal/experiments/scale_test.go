@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
 	"overcast/internal/workload"
 )
 
@@ -145,5 +147,47 @@ func TestScaleSuiteScenarioRows(t *testing.T) {
 	}
 	if rows[1].Solver != "mcf" || rows[1].Lambda <= 0 {
 		t.Errorf("mcf row: %+v", rows[1])
+	}
+}
+
+// TestPlaneDedupZipfHotScenarios pins the whole point of the shared SSSP
+// plane: on Zipf-hot scenarios (cdn, livestream) at 64+ arbitrary-routing
+// sessions, one batch round must serve at least twice as many per-member
+// SSSP reads as it computes Dijkstra rows (>= 2x source dedup), and the
+// dedup factor must not shrink as the session count grows — more sessions
+// over the same hot nodes can only increase sharing.
+func TestPlaneDedupZipfHotScenarios(t *testing.T) {
+	dedupAt := func(scenario string, sessions int) float64 {
+		t.Helper()
+		si, err := NewScaleInstance(4242, ScaleConfig{
+			Nodes: 256, Sessions: sessions, Scenario: scenario, Arbitrary: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := overlay.NewBatchRunnerOpts(si.Problem.G, si.Problem.Oracles, overlay.BatchOptions{Workers: 1, SharedPlane: true})
+		defer r.Close()
+		d := graph.NewLengths(si.Problem.G, 1)
+		for _, res := range r.MinTrees(d, nil) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		m := r.Metrics()
+		if m.PlaneRounds != 1 || m.PlaneSources == 0 {
+			t.Fatalf("%s k=%d: implausible plane metrics %+v", scenario, sessions, m)
+		}
+		return m.PlaneDedup()
+	}
+	for _, scenario := range []string{"cdn", "livestream"} {
+		small := dedupAt(scenario, 16)
+		large := dedupAt(scenario, 64)
+		if large < 2 {
+			t.Errorf("%s at 64 sessions: dedup %.2fx, want >= 2x", scenario, large)
+		}
+		if large < small {
+			t.Errorf("%s: dedup fell from %.2fx (16 sessions) to %.2fx (64)", scenario, small, large)
+		}
+		t.Logf("%s: dedup %.2fx at 16 sessions, %.2fx at 64", scenario, small, large)
 	}
 }

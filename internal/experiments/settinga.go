@@ -38,6 +38,10 @@ type SettingA struct {
 	// solver sequential; the sweeps already parallelize across rows/trials).
 	// Results are bit-identical for every value.
 	SolverWorkers int
+	// SolverDisablePlane turns off the solvers' shared SSSP plane (see
+	// core.MaxFlowOptions.DisablePlane); results are bit-identical either
+	// way.
+	SolverDisablePlane bool
 }
 
 // SettingAConfig allows scaling the environment down for tests and benches.
@@ -122,7 +126,7 @@ func (a *SettingA) MaxFlowSweep(ratios []float64, arbitrary bool) ([]FlowRow, []
 	sols := make([]*core.Solution, len(ratios))
 	errs := make([]error, len(ratios))
 	parallelFor(len(ratios), func(i int) {
-		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i]), Workers: a.SolverWorkers})
+		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i]), Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane})
 		if err != nil {
 			errs[i] = err
 			return
@@ -168,9 +172,10 @@ func (a *SettingA) MCFSweep(ratios []float64, arbitrary bool) ([]MCFRow, []*core
 	errs := make([]error, len(ratios))
 	parallelFor(len(ratios), func(i int) {
 		res, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
-			Epsilon:     core.MCFRatioToEpsilon(ratios[i]),
-			SurplusPass: true,
-			Workers:     a.SolverWorkers,
+			Epsilon:      core.MCFRatioToEpsilon(ratios[i]),
+			SurplusPass:  true,
+			Workers:      a.SolverWorkers,
+			DisablePlane: a.SolverDisablePlane,
 		})
 		if err != nil {
 			errs[i] = err
@@ -259,7 +264,7 @@ func (a *SettingA) TreeLimitSweep(cfg TreeLimitConfig) (*TreeLimitResult, error)
 	}
 	base, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
 		Epsilon: core.MCFRatioToEpsilon(cfg.BaseRatio), SurplusPass: true,
-		Workers: a.SolverWorkers,
+		Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane,
 	})
 	if err != nil {
 		return nil, err
@@ -324,11 +329,14 @@ func (a *SettingA) randomPoint(p *core.Problem, base *core.Solution, n, trials i
 // session over random arrival orders.
 func (a *SettingA) onlinePoint(p *core.Problem, mu float64, n, trials int, r *rng.RNG) (TreeLimitPoint, error) {
 	k := p.K()
-	var members []graph.NodeID
-	for _, s := range p.Sessions {
-		members = append(members, s.Members...)
+	var rt *routing.IPRoutes
+	if p.Mode != core.RoutingArbitrary {
+		var members []graph.NodeID
+		for _, s := range p.Sessions {
+			members = append(members, s.Members...)
+		}
+		rt = ipRoutesFor(p, members)
 	}
-	rt := ipRoutesFor(p, members)
 	sums := make([]TreeLimitPoint, trials)
 	errs := make([]error, trials)
 	parallelFor(trials, func(t int) {
@@ -397,10 +405,11 @@ func (a *SettingA) onlinePoint(p *core.Problem, mu float64, n, trials int, r *rn
 }
 
 // makeOracle instantiates the oracle matching p's routing mode for a
-// (possibly re-indexed) session.
+// (possibly re-indexed) session. rt may be nil in arbitrary mode, which
+// needs no fixed route table.
 func makeOracle(p *core.Problem, rt *routing.IPRoutes, s *overlay.Session) (overlay.TreeOracle, error) {
 	if p.Mode == core.RoutingArbitrary {
-		return overlay.NewArbitraryOracle(p.G, rt, s)
+		return overlay.NewArbitraryOracle(p.G, s)
 	}
 	return overlay.NewFixedOracle(p.G, rt, s)
 }

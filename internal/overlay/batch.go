@@ -11,10 +11,34 @@ import (
 // (unnormalized) length under the batch's length function. Len is filled by
 // MinTreesLen only (MinTrees leaves it zero): the extra O(tree edges) pass
 // is measurable in length-oblivious phase loops like MaxConcurrentFlow's.
+//
+// Aliasing contract: the []BatchResult slice a runner returns is reused — the
+// next MinTrees/MinTreesLen call on the same runner overwrites every slot in
+// place. Consume (or copy) the results before rebatching; holding the slice
+// across calls observes the *next* batch's trees. The Tree pointers
+// themselves are freshly allocated per evaluation, never recycled, so trees
+// extracted from a batch stay valid indefinitely
+// (TestBatchResultSliceReusedAcrossCalls pins both halves of this contract).
 type BatchResult struct {
 	Tree *Tree
 	Len  float64
 	Err  error
+}
+
+// BatchOptions configures a BatchRunner beyond the oracle set.
+type BatchOptions struct {
+	// Workers is the worker-pool size: <= 0 means GOMAXPROCS. The pool is
+	// clamped to the oracle count unless the shared plane is active (plane
+	// rows can outnumber oracles, so extra workers still help stage 1).
+	Workers int
+	// SharedPlane enables the round-level shared SSSP plane: each batch
+	// first fills one Dijkstra row per *distinct* member source across the
+	// worker pool, then assembles every plane-aware oracle's tree from those
+	// rows. Outputs are bitwise identical with the plane on or off (identical
+	// Dijkstras over the identical snapshot, whichever stage runs them); the
+	// toggle exists for the determinism gate and perf comparisons. It is a
+	// no-op for oracle sets without a PlaneOracle (e.g. all fixed-routing).
+	SharedPlane bool
 }
 
 // BatchRunner evaluates many oracles' MinTree under a shared length function
@@ -28,6 +52,16 @@ type BatchResult struct {
 // length snapshot, so neither the worker count nor goroutine scheduling can
 // change what a caller observes. Oracles must be safe for concurrent reads
 // (both built-in oracles are: MinTreeWith touches only the per-call Scratch).
+//
+// With the shared plane enabled (BatchOptions.SharedPlane; the default of
+// NewBatchRunner) each batch runs as two stages. Stage 1 collects the
+// distinct member sources of the batch's plane-aware oracles — in batch
+// order, so row assignment is canonical — and fans the rows across the
+// worker pool, each worker filling its assigned rows with pooled Dijkstra
+// buffers. Stage 2 evaluates the batch slots as before, except plane-aware
+// oracles assemble their overlay weights and routes from the plane rows
+// instead of re-running per-member Dijkstras. The WaitGroup barrier between
+// the stages orders all row writes before any stage-2 read.
 type BatchRunner struct {
 	g       *graph.Graph
 	oracles []TreeOracle
@@ -36,6 +70,16 @@ type BatchRunner struct {
 	// Inline scratch: the whole batch when workers == 1, single-slot batches
 	// otherwise (lazily created; avoids channel round-trips for one job).
 	seq *Scratch
+
+	// Shared SSSP plane (nil when disabled or no oracle can use it).
+	// planeLive marks that the current batch staged and filled rows, so
+	// eval may read them; filling flips the meaning of a job from "evaluate
+	// batch slot" to "fill plane row". Both fields are written by the batch
+	// goroutine only, between the pool's channel/WaitGroup barriers.
+	plane     *Plane
+	planeLive bool
+	filling   bool
+	metrics   Metrics
 
 	// Parallel mode: persistent workers fed per-batch via jobs. d, ids and
 	// out describe the current batch; they are published before the job sends
@@ -50,20 +94,38 @@ type BatchRunner struct {
 }
 
 // NewBatchRunner builds a runner over oracles with the requested worker-pool
-// size: workers <= 0 means GOMAXPROCS, and the pool is never larger than the
-// oracle set. With one worker the runner degrades to a single-scratch
-// sequential path with zero goroutines; results are identical either way.
+// size and the shared SSSP plane enabled (a no-op for oracle sets that
+// cannot use it); see NewBatchRunnerOpts for the full contract.
 func NewBatchRunner(g *graph.Graph, oracles []TreeOracle, workers int) *BatchRunner {
+	return NewBatchRunnerOpts(g, oracles, BatchOptions{Workers: workers, SharedPlane: true})
+}
+
+// NewBatchRunnerOpts builds a runner over oracles. Workers <= 0 means
+// GOMAXPROCS, and the pool is never larger than the oracle set unless the
+// plane is active. With one worker the runner degrades to a single-scratch
+// sequential path with zero goroutines; results are identical either way —
+// and identical with the plane on or off.
+func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions) *BatchRunner {
+	var plane *Plane
+	if opts.SharedPlane {
+		for _, o := range oracles {
+			if _, ok := o.(PlaneOracle); ok {
+				plane = NewPlane(g)
+				break
+			}
+		}
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(oracles) {
+	if plane == nil && workers > len(oracles) {
 		workers = len(oracles)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	r := &BatchRunner{g: g, oracles: oracles, workers: workers, out: make([]BatchResult, len(oracles))}
+	r := &BatchRunner{g: g, oracles: oracles, workers: workers, plane: plane, out: make([]BatchResult, len(oracles))}
 	if workers == 1 {
 		r.seq = NewScratch(g)
 		return r
@@ -73,7 +135,11 @@ func NewBatchRunner(g *graph.Graph, oracles []TreeOracle, workers int) *BatchRun
 		go func() {
 			sc := NewScratch(g)
 			for pos := range r.jobs {
-				r.eval(pos, sc)
+				if r.filling {
+					r.plane.FillRow(pos, r.d, sc.dijkstra())
+				} else {
+					r.eval(pos, sc)
+				}
 				r.wg.Done()
 			}
 		}()
@@ -84,13 +150,26 @@ func NewBatchRunner(g *graph.Graph, oracles []TreeOracle, workers int) *BatchRun
 // Workers returns the resolved worker-pool size.
 func (r *BatchRunner) Workers() int { return r.workers }
 
+// Metrics returns a snapshot of the runner's shared-plane counters. Call it
+// between batches (the counters are updated while a batch is staged).
+func (r *BatchRunner) Metrics() Metrics { return r.metrics }
+
 // eval computes the tree of the oracle in batch slot pos.
 func (r *BatchRunner) eval(pos int, sc *Scratch) {
 	i := pos
 	if r.ids != nil {
 		i = r.ids[pos]
 	}
-	t, err := MinTreeWith(r.oracles[i], r.d, sc)
+	var t *Tree
+	var err error
+	if r.planeLive {
+		if po, ok := r.oracles[i].(PlaneOracle); ok {
+			t, err = po.MinTreeFromPlane(r.d, r.plane, sc)
+		}
+	}
+	if t == nil && err == nil {
+		t, err = MinTreeWith(r.oracles[i], r.d, sc)
+	}
 	if err != nil {
 		r.out[pos] = BatchResult{Err: err}
 		return
@@ -100,6 +179,60 @@ func (r *BatchRunner) eval(pos int, sc *Scratch) {
 		res.Len = t.LengthUnder(r.d)
 	}
 	r.out[pos] = res
+}
+
+// stagePlane runs stage 1 of a batch: collect the distinct member sources of
+// the batch's plane-aware oracles (in batch order — canonical row
+// assignment) and fill one SSSP row per source under the batch's snapshot,
+// fanned across the worker pool in parallel mode. No-op when the plane is
+// disabled or the batch has no plane-aware oracle.
+func (r *BatchRunner) stagePlane(n int) {
+	r.planeLive = false
+	if r.plane == nil {
+		return
+	}
+	r.plane.Reset()
+	requests := 0
+	for pos := 0; pos < n; pos++ {
+		i := pos
+		if r.ids != nil {
+			i = r.ids[pos]
+		}
+		po, ok := r.oracles[i].(PlaneOracle)
+		if !ok {
+			continue
+		}
+		srcs := po.PlaneSources()
+		requests += len(srcs)
+		for _, s := range srcs {
+			r.plane.Stage(s)
+		}
+	}
+	ns := r.plane.NumSources()
+	if ns == 0 {
+		return
+	}
+	r.planeLive = true
+	r.metrics.PlaneRounds++
+	r.metrics.PlaneSources += ns
+	r.metrics.PlaneRequests += requests
+	if r.workers == 1 || ns == 1 {
+		if r.seq == nil {
+			r.seq = NewScratch(r.g)
+		}
+		sp := r.seq.dijkstra()
+		for row := 0; row < ns; row++ {
+			r.plane.FillRow(row, r.d, sp)
+		}
+		return
+	}
+	r.filling = true
+	r.wg.Add(ns)
+	for row := 0; row < ns; row++ {
+		r.jobs <- row
+	}
+	r.wg.Wait()
+	r.filling = false
 }
 
 // MinTrees evaluates the oracles named by ids (nil = all oracles) under d and
@@ -123,6 +256,7 @@ func (r *BatchRunner) run(d graph.Lengths, ids []int, wantLen bool) []BatchResul
 		n = len(ids)
 	}
 	r.d, r.ids, r.wantLen = d, ids, wantLen
+	r.stagePlane(n)
 	if r.workers == 1 || n == 1 {
 		// Single slot or single worker: evaluate inline. The parallel
 		// variant's scratch lives in its workers, so the inline path keeps

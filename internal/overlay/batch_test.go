@@ -149,6 +149,52 @@ func TestBatchWorkersResolved(t *testing.T) {
 	r.Close() // sequential runner: Close must be a no-op
 }
 
+// TestBatchResultSliceReusedAcrossCalls pins the BatchResult aliasing
+// contract from both sides, so the consume-then-rebatch misuse pattern is
+// caught the day either half changes silently. (1) The runner reuses the
+// result slice: holding it across a rebatch observes the next batch's slots,
+// so a caller that stores the slice and reads it later gets wrong sessions.
+// (2) The trees themselves are never recycled: anything extracted from a
+// batch before rebatching stays valid and bitwise intact.
+func TestBatchResultSliceReusedAcrossCalls(t *testing.T) {
+	g, oracles := batchFixture(t, 8)
+	r := NewBatchRunner(g, oracles, 1)
+	defer r.Close()
+	d := lengthsFor(g, 0)
+
+	first := r.MinTrees(d, []int{0, 1})
+	// Consume properly: copy the tree pointers and their canonical keys out.
+	firstTrees := []*Tree{first[0].Tree, first[1].Tree}
+	firstKeys := []string{first[0].Tree.Key(), first[1].Tree.Key()}
+
+	second := r.MinTrees(d, []int{2, 3})
+	if &first[0] != &second[0] {
+		t.Fatal("result slices no longer alias — the BatchResult reuse contract changed; update its docs and this test")
+	}
+	// The held slice now describes batch two, not batch one: exactly the
+	// misuse this test exists to catch.
+	if first[0].Tree.SessionID != 2 || first[1].Tree.SessionID != 3 {
+		t.Fatalf("stale slice reads sessions %d,%d — expected it to be overwritten with 2,3",
+			first[0].Tree.SessionID, first[1].Tree.SessionID)
+	}
+	// But trees extracted before the rebatch are untouched.
+	for i, tree := range firstTrees {
+		if tree.SessionID != i {
+			t.Fatalf("extracted tree %d re-stamped to session %d", i, tree.SessionID)
+		}
+		if tree.Key() != firstKeys[i] {
+			t.Fatalf("extracted tree %d mutated by rebatch", i)
+		}
+		want, err := oracles[i].MinTree(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Key() != want.Key() {
+			t.Fatalf("extracted tree %d differs from a fresh direct call", i)
+		}
+	}
+}
+
 // TestBatchOracleAllocs is the allocation regression gate for the batch
 // oracle hot path: a sequential full-batch evaluation may allocate only the
 // returned trees (pairs, routes, struct, use — a handful of allocations per

@@ -42,6 +42,24 @@ func MinTreeWith(o TreeOracle, d graph.Lengths, sc *Scratch) (*Tree, error) {
 	return o.MinTree(d)
 }
 
+// PlaneOracle is implemented by oracles whose per-call SSSP work can be
+// served from a shared Plane: the oracle names the Dijkstra sources MinTree
+// would run, and can assemble its tree from plane rows computed elsewhere.
+// ArbitraryOracle implements it (its entire per-call Dijkstra cost is
+// shareable); FixedOracle does not (its routes are resolved at construction,
+// so there is nothing to share per call).
+type PlaneOracle interface {
+	ScratchOracle
+	// PlaneSources returns the Dijkstra source nodes a MinTree call runs —
+	// the session's members. The slice is oracle-owned; do not mutate.
+	PlaneSources() []graph.NodeID
+	// MinTreeFromPlane is MinTreeWith reading each member's SSSP row from pl
+	// instead of computing it. Every source from PlaneSources must be staged
+	// and filled on pl under the same d; the result is then bitwise identical
+	// to MinTreeWith's (identical Dijkstras, identical assembly).
+	MinTreeFromPlane(d graph.Lengths, pl *Plane, sc *Scratch) (*Tree, error)
+}
+
 // primComplete runs Prim's algorithm over the complete graph on n vertices
 // with the given symmetric weight function, rooted at vertex 0, returning
 // the tree's vertex-pair edges. O(n^2), which is optimal for dense graphs.
@@ -168,18 +186,15 @@ type ArbitraryOracle struct {
 	maxHops int
 }
 
-// NewArbitraryOracle builds the dynamic-routing oracle. maxHops (U) is taken
-// from hop-count routing, which upper-bounds the hop length of any shortest
-// route that can matter.
-func NewArbitraryOracle(g *graph.Graph, rt *routing.IPRoutes, s *Session) (*ArbitraryOracle, error) {
-	o := &ArbitraryOracle{g: g, session: s}
-	// U must bound the number of edges on any route the oracle can return.
-	// A shortest path under positive lengths is simple, so |V|-1 is a safe
-	// bound; we use the graph diameter proxy from hop routing when larger
-	// sessions make that cheap enough, falling back to |V|-1.
-	o.maxHops = g.NumNodes() - 1
-	_ = rt
-	return o, nil
+// NewArbitraryOracle builds the dynamic-routing oracle for s over g. maxHops
+// (U) is |V|-1: a shortest path under positive lengths is simple, and no
+// tighter static bound is sound — the hop diameter of the *fixed* IP routes
+// does not bound shortest paths under the solver's adversarially inflated
+// length functions, which can legitimately take long detours around loaded
+// links. (Earlier revisions accepted an IPRoutes table here and silently
+// discarded it; the oracle needs no route table at all.)
+func NewArbitraryOracle(g *graph.Graph, s *Session) (*ArbitraryOracle, error) {
+	return &ArbitraryOracle{g: g, session: s, maxHops: g.NumNodes() - 1}, nil
 }
 
 // Session implements TreeOracle.
@@ -204,6 +219,35 @@ func (o *ArbitraryOracle) MinTreeWith(d graph.Lengths, sc *Scratch) (*Tree, erro
 	for i := 0; i < n; i++ {
 		sp.ShortestPathsInto(o.g, o.session.Members[i], d, dists[i], parents[i])
 	}
+	return o.treeFromMemberRows(sc, dists, parents)
+}
+
+// PlaneSources implements PlaneOracle: the Dijkstra sources are the members.
+func (o *ArbitraryOracle) PlaneSources() []graph.NodeID { return o.session.Members }
+
+// MinTreeFromPlane implements PlaneOracle: per-member SSSP rows are read from
+// pl (falling back to MinTreeWith if a member was not staged, which a correct
+// batch driver never triggers). Identical rows make the result bitwise
+// identical to MinTreeWith under the same d.
+func (o *ArbitraryOracle) MinTreeFromPlane(d graph.Lengths, pl *Plane, sc *Scratch) (*Tree, error) {
+	n := o.session.Size()
+	dists, parents := sc.memberRows(n)
+	for i, m := range o.session.Members {
+		dd, pp, ok := pl.Lookup(m)
+		if !ok {
+			return o.MinTreeWith(d, sc)
+		}
+		dists[i], parents[i] = dd, pp
+	}
+	return o.treeFromMemberRows(sc, dists, parents)
+}
+
+// treeFromMemberRows assembles the minimum overlay tree from per-member SSSP
+// rows (dists[i]/parents[i] rooted at Members[i]), whether scratch-computed
+// or plane-borrowed: Prim over the overlay complete graph, then route
+// extraction from the smaller member's Dijkstra tree.
+func (o *ArbitraryOracle) treeFromMemberRows(sc *Scratch, dists [][]float64, parents [][]graph.EdgeID) (*Tree, error) {
+	n := o.session.Size()
 	weight := func(i, j int) float64 {
 		if i > j {
 			i, j = j, i

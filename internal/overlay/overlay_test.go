@@ -246,7 +246,7 @@ func TestArbitraryOracleAvoidsCongestedRoute(t *testing.T) {
 	s, _ := NewSession(0, []graph.NodeID{0, 2}, 1)
 	rt := routing.NewIPRoutes(g, allNodes(g))
 	fixed, _ := NewFixedOracle(g, rt, s)
-	arb, err := NewArbitraryOracle(g, rt, s)
+	arb, err := NewArbitraryOracle(g, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestArbitraryMatchesFixedOnUniformLengths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	arb, _ := NewArbitraryOracle(g, rt, s)
+	arb, _ := NewArbitraryOracle(g, s)
 	d := graph.NewLengths(g, 1)
 	ft, _ := fixed.MinTree(d)
 	at, _ := arb.MinTree(d)

@@ -1,0 +1,181 @@
+package overlay
+
+import (
+	"sync"
+
+	"overcast/internal/graph"
+	"overcast/internal/routing"
+)
+
+// Plane is a shared store of single-source shortest-path (SSSP) rows — one
+// Dijkstra distance/parent array pair per source node — computed once under an
+// immutable length snapshot and then read by many consumers. It exists
+// because the paper's Sec. V arbitrary-routing oracle runs one Dijkstra per
+// session member per MinTree call, while the batched phase rounds (PR 3)
+// evaluate every pending session under a *single* length snapshot: when Zipf
+// node popularity puts the same hot nodes in many sessions, the per-session
+// oracles recompute identical SSSP trees dozens of times per round. Staging
+// the union of the round's member sources on a plane converts that
+// O(sessions x members) Dijkstra cost into O(distinct members).
+//
+// Determinism: a row's content is a pure function of (graph, source, length
+// snapshot) — DijkstraScratch.ShortestPathsInto has deterministic tie-breaks
+// and no shared mutable state — so distances and parent edges are bitwise
+// identical whether a row is filled by stage-1 plane workers, by the
+// sequential path, or inside a plane-oblivious MinTreeWith call. Plane
+// on/off and worker count therefore never change solver outputs.
+//
+// Lifecycle: Reset, Stage each source, fill every row (FillRow per row or
+// Fill for the standalone one-shot case), then read via Lookup. Staging and
+// filling are single-goroutine operations except for FillRow, which may run
+// concurrently for distinct rows; once filled, the plane is safe for any
+// number of concurrent readers until the next Reset. Row storage is pooled
+// across Reset cycles, so a round-loop reuses its buffers.
+type Plane struct {
+	g *graph.Graph
+	// rowOf maps a node id to its row index in the current cycle (-1 when the
+	// node is not staged). Only entries named by sources are ever non-negative,
+	// so Reset clears in O(staged sources), not O(nodes).
+	rowOf   []int32
+	sources []graph.NodeID
+	dists   [][]float64
+	parents [][]graph.EdgeID
+}
+
+// NewPlane returns an empty plane over g. Row storage grows on first use and
+// is retained across Reset cycles.
+func NewPlane(g *graph.Graph) *Plane {
+	rowOf := make([]int32, g.NumNodes())
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	return &Plane{g: g, rowOf: rowOf}
+}
+
+// Reset forgets the current cycle's sources, keeping row storage for reuse.
+func (p *Plane) Reset() {
+	for _, s := range p.sources {
+		p.rowOf[s] = -1
+	}
+	p.sources = p.sources[:0]
+}
+
+// Stage registers src as a source of the current cycle, assigning it the next
+// row, and reports whether it was new (false = already staged, the
+// deduplication hit). Rows are assigned in first-staging order, which callers
+// keep deterministic by staging in a canonical order.
+func (p *Plane) Stage(src graph.NodeID) bool {
+	if p.rowOf[src] >= 0 {
+		return false
+	}
+	row := len(p.sources)
+	if row == len(p.dists) {
+		n := p.g.NumNodes()
+		p.dists = append(p.dists, make([]float64, n))
+		p.parents = append(p.parents, make([]graph.EdgeID, n))
+	}
+	p.rowOf[src] = int32(row)
+	p.sources = append(p.sources, src)
+	return true
+}
+
+// NumSources returns the number of staged sources in the current cycle.
+func (p *Plane) NumSources() int { return len(p.sources) }
+
+// FillRow computes row's SSSP arrays under d with sp's pooled heap. Distinct
+// rows may be filled concurrently (each touches only its own arrays); sp must
+// be private to the calling goroutine.
+func (p *Plane) FillRow(row int, d graph.Lengths, sp *routing.DijkstraScratch) {
+	sp.ShortestPathsInto(p.g, p.sources[row], d, p.dists[row], p.parents[row])
+}
+
+// Fill computes every staged row under d, fanning across at most workers
+// goroutines (<=1 runs inline). It is the standalone entry point for
+// one-shot consumers like the churn harness's oracle prefabrication;
+// BatchRunner drives FillRow from its own persistent pool instead.
+func (p *Plane) Fill(d graph.Lengths, workers int) {
+	ns := len(p.sources)
+	if ns == 0 {
+		return
+	}
+	if workers > ns {
+		workers = ns
+	}
+	if workers <= 1 {
+		sp := routing.NewDijkstraScratch(p.g)
+		for row := 0; row < ns; row++ {
+			p.FillRow(row, d, sp)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := routing.NewDijkstraScratch(p.g)
+			for row := range jobs {
+				p.FillRow(row, d, sp)
+			}
+		}()
+	}
+	for row := 0; row < ns; row++ {
+		jobs <- row
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Lookup returns the filled SSSP row rooted at src, or ok=false when src was
+// not staged this cycle. The returned slices are plane-owned: valid until the
+// next Reset/Fill cycle and must not be mutated.
+func (p *Plane) Lookup(src graph.NodeID) (dist []float64, parent []graph.EdgeID, ok bool) {
+	row := p.rowOf[src]
+	if row < 0 {
+		return nil, nil, false
+	}
+	return p.dists[row], p.parents[row], true
+}
+
+// Metrics aggregates shared-SSSP-plane counters over a consumer's lifetime
+// (a BatchRunner's rounds, a churn prefabrication pass). The interesting
+// ratio is PlaneRequests/PlaneSources — how many per-member SSSP reads each
+// computed Dijkstra row served; 1.0 means no cross-session sharing, Zipf-hot
+// scenarios reach well above 2.
+type Metrics struct {
+	// PlaneRounds counts batch rounds that staged at least one plane row.
+	PlaneRounds int
+	// PlaneSources counts SSSP rows actually computed (distinct sources,
+	// summed over rounds) — the misses.
+	PlaneSources int
+	// PlaneRequests counts per-member SSSP reads served from the plane
+	// (every member of every plane-aware oracle evaluated in a round).
+	PlaneRequests int
+}
+
+// PlaneDedup returns PlaneRequests/PlaneSources, the average number of oracle
+// member reads served per Dijkstra computed (1 when the plane never fired).
+func (m Metrics) PlaneDedup() float64 {
+	if m.PlaneSources == 0 {
+		return 1
+	}
+	return float64(m.PlaneRequests) / float64(m.PlaneSources)
+}
+
+// PlaneHitRate returns the fraction of member reads that reused an
+// already-computed row: 1 - sources/requests (0 when the plane never fired).
+func (m Metrics) PlaneHitRate() float64 {
+	if m.PlaneRequests == 0 {
+		return 0
+	}
+	return 1 - float64(m.PlaneSources)/float64(m.PlaneRequests)
+}
+
+// Merge adds o's counters into m (for folding per-subsolve metrics into an
+// aggregate, e.g. the MCF beta prestep's per-session MaxFlows).
+func (m *Metrics) Merge(o Metrics) {
+	m.PlaneRounds += o.PlaneRounds
+	m.PlaneSources += o.PlaneSources
+	m.PlaneRequests += o.PlaneRequests
+}

@@ -252,8 +252,7 @@ func BenchmarkMinTreeArbitrary(b *testing.B) {
 	g := net.Graph
 	members := []graph.NodeID{3, 17, 29, 41, 53, 67, 88}
 	s, _ := NewSession(0, members, 1)
-	rt := routing.NewIPRoutes(g, members)
-	o, err := NewArbitraryOracle(g, rt, s)
+	o, err := NewArbitraryOracle(g, s)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -31,6 +31,12 @@ type Scratch struct {
 	dists   [][]float64
 	parents [][]graph.EdgeID
 
+	// Header-only variants of dists/parents whose entries point at borrowed
+	// Plane rows (never at owned storage, so the owned buffers above are
+	// never lost to an overwrite).
+	rowDists   [][]float64
+	rowParents [][]graph.EdgeID
+
 	// Edge-id buffer for Use computation (sort + run-length encode).
 	edgeIDs []int
 }
@@ -78,6 +84,17 @@ func (sc *Scratch) memberTrees(k int) ([][]float64, [][]graph.EdgeID) {
 		sc.parents = append(sc.parents, make([]graph.EdgeID, n))
 	}
 	return sc.dists[:k], sc.parents[:k]
+}
+
+// memberRows returns k slice-header slots for borrowed per-member SSSP rows
+// (Plane reads). Entries are stale from previous calls; the caller overwrites
+// all k before use.
+func (sc *Scratch) memberRows(k int) ([][]float64, [][]graph.EdgeID) {
+	for len(sc.rowDists) < k {
+		sc.rowDists = append(sc.rowDists, nil)
+		sc.rowParents = append(sc.rowParents, nil)
+	}
+	return sc.rowDists[:k], sc.rowParents[:k]
 }
 
 // primInto runs Prim's algorithm over the complete graph on n vertices using

@@ -27,7 +27,7 @@ func scratchEnv(t testing.TB, seed uint64, nodes, size int) (*graph.Graph, *Fixe
 	if err != nil {
 		t.Fatal(err)
 	}
-	ao, err := NewArbitraryOracle(net.Graph, rt, s)
+	ao, err := NewArbitraryOracle(net.Graph, s)
 	if err != nil {
 		t.Fatal(err)
 	}

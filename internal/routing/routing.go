@@ -125,6 +125,32 @@ func NewWeightedIPRoutes(g *graph.Graph, sources []graph.NodeID, w graph.Lengths
 	return t
 }
 
+// NewWeightedIPRoutesFromTrees builds a fixed route table from precomputed
+// weighted shortest-path trees: parents(s) must return the parent-edge array
+// of a Dijkstra tree rooted at s under the intended static weights, exactly
+// as ShortestPaths would compute it (e.g. a filled overlay SSSP plane row).
+// The table borrows the arrays — they must stay valid and unmutated for the
+// table's lifetime. Routes and hop counts are then identical to
+// NewWeightedIPRoutes over the same sources and weights, without re-running
+// any Dijkstra, which is what lets many member-restricted tables over one
+// static weight snapshot share a single set of trees.
+func NewWeightedIPRoutesFromTrees(g *graph.Graph, sources []graph.NodeID, parents func(graph.NodeID) []graph.EdgeID) *IPRoutes {
+	t := &IPRoutes{
+		g:          g,
+		parentEdge: make(map[graph.NodeID][]graph.EdgeID, len(sources)),
+		hops:       make(map[graph.NodeID][]int, len(sources)),
+	}
+	for _, s := range sources {
+		if _, done := t.parentEdge[s]; done {
+			continue
+		}
+		par := parents(s)
+		t.parentEdge[s] = par
+		t.hops[s] = depthsFromParents(g, par, s)
+	}
+	return t
+}
+
 // depthsFromParents computes hop counts along a shortest-path tree given its
 // parent edges; unreachable nodes get -1.
 func depthsFromParents(g *graph.Graph, parent []graph.EdgeID, s graph.NodeID) []int {

@@ -169,3 +169,62 @@ func TestLinkDelaysFallbackWithoutPositions(t *testing.T) {
 		t.Fatal("positioned network should have varying delays")
 	}
 }
+
+// TestWeightedIPRoutesFromTreesMatchesDirect pins the shared-tree
+// constructor's contract: assembled from externally computed Dijkstra trees
+// (exactly what the overlay SSSP plane hands the churn prefabricator), the
+// table must agree with NewWeightedIPRoutes on every route and hop count —
+// node for node, edge for edge.
+func TestWeightedIPRoutesFromTreesMatchesDirect(t *testing.T) {
+	net, err := topology.Waxman(topology.DefaultWaxman(50), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	w := net.LinkDelays()
+	members := []graph.NodeID{2, 7, 7, 13, 29, 41} // duplicate source on purpose
+	want := NewWeightedIPRoutes(g, members, w)
+
+	trees := map[graph.NodeID][]graph.EdgeID{}
+	for _, s := range members {
+		if _, ok := trees[s]; !ok {
+			_, parent := ShortestPaths(g, s, w)
+			trees[s] = parent
+		}
+	}
+	got := NewWeightedIPRoutesFromTrees(g, members, func(s graph.NodeID) []graph.EdgeID {
+		return trees[s]
+	})
+
+	for i, u := range members {
+		for _, v := range members[i:] {
+			if gh, wh := got.Hops(u, v), want.Hops(u, v); gh != wh {
+				t.Fatalf("hops(%d,%d) = %d, want %d", u, v, gh, wh)
+			}
+			gp, err := got.Route(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wp, err := want.Route(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gp.Nodes) != len(wp.Nodes) || len(gp.Edges) != len(wp.Edges) {
+				t.Fatalf("route(%d,%d) shape differs", u, v)
+			}
+			for k := range gp.Nodes {
+				if gp.Nodes[k] != wp.Nodes[k] {
+					t.Fatalf("route(%d,%d) node %d: %d != %d", u, v, k, gp.Nodes[k], wp.Nodes[k])
+				}
+			}
+			for k := range gp.Edges {
+				if gp.Edges[k] != wp.Edges[k] {
+					t.Fatalf("route(%d,%d) edge %d: %d != %d", u, v, k, gp.Edges[k], wp.Edges[k])
+				}
+			}
+			if err := gp.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -281,3 +281,76 @@ func TestPopularitySkew(t *testing.T) {
 		t.Errorf("livestream low-id share %.3f: popularity is welded to node ids", liveLow)
 	}
 }
+
+// TestMemberSamplerUniformFallback pins the fallback rule documented on
+// MemberSampler: sessions spanning more than an eighth of the topology skip
+// Zipf rejection (which would stall on the tail) and must consume the caller
+// RNG exactly like a plain uniform distinct-sample — the same draw a
+// popularity-free scenario makes. Small sessions must keep the Zipf path.
+func TestMemberSamplerUniformFallback(t *testing.T) {
+	sc, err := Get("cdn") // PopularityExp = 1.0
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	ms := sc.NewMemberSampler(n, rng.New(42))
+
+	// size > n/8: bitwise-equal to the uniform sampler on an identically
+	// seeded stream, for several seeds and sizes.
+	for _, size := range []int{n/8 + 1, 16, 33} {
+		for seed := uint64(0); seed < 8; seed++ {
+			got := ms.Sample(rng.New(seed), size)
+			want := rng.New(seed).Sample(n, size)
+			if len(got) != len(want) {
+				t.Fatalf("size=%d seed=%d: %d members, want %d", size, seed, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("size=%d seed=%d member %d: %d != %d (fallback not uniform)", size, seed, i, got[i], want[i])
+				}
+			}
+			seen := map[int]bool{}
+			for _, m := range got {
+				if m < 0 || m >= n || seen[m] {
+					t.Fatalf("size=%d seed=%d: invalid or duplicate member %d", size, seed, m)
+				}
+				seen[m] = true
+			}
+		}
+	}
+
+	// size = n/8 exactly stays on the Zipf path (the rule is strict
+	// inequality): across seeds, at least one draw must differ from the
+	// uniform stream, or the skew has silently vanished.
+	zipfDiffers := false
+	for seed := uint64(0); seed < 16 && !zipfDiffers; seed++ {
+		got := ms.Sample(rng.New(seed), n/8)
+		want := rng.New(seed).Sample(n, n/8)
+		for i := range got {
+			if got[i] != want[i] {
+				zipfDiffers = true
+				break
+			}
+		}
+	}
+	if !zipfDiffers {
+		t.Fatal("size <= n/8 draws matched the uniform stream on every seed — Zipf path lost")
+	}
+
+	// A scenario without popularity skew must take the uniform path at every
+	// size (zipf == nil).
+	uni, err := Get("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ums := uni.NewMemberSampler(n, rng.New(42))
+	for _, size := range []int{3, 8, 20} {
+		got := ums.Sample(rng.New(5), size)
+		want := rng.New(5).Sample(n, size)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("uniform scenario size=%d diverged from plain sampling", size)
+			}
+		}
+	}
+}

@@ -47,16 +47,18 @@ func (o *OnlineAllocator) Join(s Session) ([][2]int, error) {
 		return nil, err
 	}
 	g := o.net.inner.Graph
-	var rt *routing.IPRoutes
-	if o.weights != nil {
-		rt = routing.NewWeightedIPRoutes(g, os.Members, o.weights)
-	} else {
-		rt = routing.NewIPRoutes(g, os.Members)
-	}
 	var oracle overlay.TreeOracle
 	if o.routing == RoutingArbitrary {
-		oracle, err = overlay.NewArbitraryOracle(g, rt, os)
+		// The dynamic oracle routes under the allocator's lengths; building a
+		// fixed route table for it would be wasted Dijkstra work per join.
+		oracle, err = overlay.NewArbitraryOracle(g, os)
 	} else {
+		var rt *routing.IPRoutes
+		if o.weights != nil {
+			rt = routing.NewWeightedIPRoutes(g, os.Members, o.weights)
+		} else {
+			rt = routing.NewIPRoutes(g, os.Members)
+		}
 		oracle, err = overlay.NewFixedOracle(g, rt, os)
 	}
 	if err != nil {
