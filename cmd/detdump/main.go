@@ -2,10 +2,12 @@
 // deterministic instances, used to verify that refactors keep solutions
 // bit-identical for fixed seeds. The CI determinism gate runs it at worker
 // counts 1, 2, and 8, with the shared SSSP plane enabled and disabled
-// (-plane=false), and diffs the outputs: solver results must be a function
-// of the seed only, never of the worker-pool size, goroutine scheduling, or
-// whether per-member Dijkstras were batched on the plane. Perf refactors
-// additionally diff it against the dump from the pre-change tree.
+// (-plane=false) and the plane's cross-round dirty-source repair enabled
+// and disabled (-repair=false), and diffs the outputs: solver results must
+// be a function of the seed only, never of the worker-pool size, goroutine
+// scheduling, whether per-member Dijkstras were batched on the plane, or
+// whether ledger-clean plane rows were repaired instead of recomputed. Perf
+// refactors additionally diff it against the dump from the pre-change tree.
 //
 // The fingerprint covers the paper's Setting-A instances under both routing
 // modes, grid-Waxman workload-scenario instances (heterogeneous
@@ -24,9 +26,11 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "oracle worker-pool size (0 = GOMAXPROCS); output must not depend on it")
-	plane := flag.Bool("plane", true, "enable the round-level shared SSSP plane; output must not depend on it")
+	plane := flag.Bool("plane", true, "enable the solve-scoped shared SSSP plane; output must not depend on it")
+	repair := flag.Bool("repair", true, "enable the plane's cross-round dirty-source repair; output must not depend on it")
 	flag.Parse()
 	disablePlane := !*plane
+	disableRepair := !*repair
 
 	for _, arb := range []bool{false, true} {
 		a, err := experiments.NewSettingA(7, experiments.SettingAConfig{
@@ -37,11 +41,12 @@ func main() {
 		}
 		a.SolverWorkers = *workers
 		a.SolverDisablePlane = disablePlane
+		a.SolverDisableRepair = disableRepair
 		p := a.ProblemIP
 		if arb {
 			p = a.ProblemArb
 		}
-		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers, DisablePlane: disablePlane})
+		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair})
 		if err != nil {
 			panic(err)
 		}
@@ -55,7 +60,8 @@ func main() {
 			}
 		}
 		mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
-			Epsilon: 0.1, Parallel: true, SurplusPass: true, Workers: *workers, DisablePlane: disablePlane,
+			Epsilon: 0.1, Parallel: true, SurplusPass: true, Workers: *workers,
+			DisablePlane: disablePlane, DisableRepair: disableRepair,
 		})
 		if err != nil {
 			panic(err)
@@ -78,7 +84,8 @@ func main() {
 
 	for _, scenario := range []string{"heavytail", "cdn"} {
 		si, err := experiments.NewScaleInstance(2026, experiments.ScaleConfig{
-			Nodes: 300, Sessions: 10, Scenario: scenario, Workers: *workers, DisablePlane: disablePlane,
+			Nodes: 300, Sessions: 10, Scenario: scenario,
+			Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
 		})
 		if err != nil {
 			panic(err)
@@ -124,7 +131,7 @@ func main() {
 	// pin a fingerprint where the plane serves most per-member Dijkstras.
 	si, err := experiments.NewScaleInstance(2028, experiments.ScaleConfig{
 		Nodes: 150, Sessions: 12, Scenario: "cdn", Arbitrary: true,
-		Workers: *workers, DisablePlane: disablePlane,
+		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
 	})
 	if err != nil {
 		panic(err)
@@ -141,5 +148,18 @@ func main() {
 		if e%37 == 0 {
 			fmt.Printf("  util[%d]=%.17g\n", e, u)
 		}
+	}
+
+	// MF-vs-MCF report fingerprint (small tier only, all scenarios): the
+	// "which allocation wins where" table must be a pure function of the
+	// seed, like everything above it.
+	rows, err := experiments.MFvsMCFReport(2029, 0.3, *workers, disablePlane, disableRepair, nil,
+		[]experiments.ReportTier{{Name: "small", Nodes: 300, Sessions: 12}})
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("report %s %s %s edges=%d thpt=%.17g minratio=%.17g meanutil=%.17g fairness=%.17g\n",
+			row.Scenario, row.Tier, row.Solver, row.Edges, row.Throughput, row.MinRatio, row.MeanUtil, row.Fairness)
 	}
 }

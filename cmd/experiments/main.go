@@ -9,7 +9,7 @@
 //
 // where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
 // table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// fig15, fig16, fig17, fig18, fig19, scale, churn, or "all". With no
+// fig15, fig16, fig17, fig18, fig19, scale, churn, report, or "all". With no
 // arguments the Setting-A experiments (table2..fig11) run; with -scale
 // large the scale tier runs.
 //
@@ -17,9 +17,18 @@
 // the scale tier, sequential solves for the sweep tiers, which already
 // parallelize across rows/cells/trials). Solver outputs are bit-identical
 // for every worker count — the knob moves wall-clock only. -plane=false
-// disables the shared SSSP plane on the scale/churn tiers (outputs are
-// plane-independent too; scale/churn rows print the plane's dedup factor
-// when it fired).
+// disables the shared SSSP plane on the scale/churn/report tiers, and
+// -repair=false its cross-round dirty-source repair (outputs are
+// plane- and repair-independent too; scale/churn rows print the plane's
+// dedup factor and repair skip rate when they fired).
+//
+// The report experiment prints the per-scenario MF-vs-MCF comparison table
+// (overall throughput, demand-satisfaction floor, mean link utilization,
+// Jain fairness over satisfaction ratios) at a small and a medium tier —
+// the "which allocation wins where" sweep:
+//
+//	experiments report
+//	experiments -scenario cdn,livestream report
 //
 // The churn experiment replays a scenario-driven arrival/departure trace
 // through the online allocator (sizes, demands, and member popularity from
@@ -73,7 +82,8 @@ func main() {
 	sessionSize := flag.Int("sessionsize", 6, "scale experiment: custom members per session")
 	scenario := flag.String("scenario", "", "scale experiment: workload scenarios, comma-separated (all | list | names)")
 	workers := flag.Int("workers", 0, "solver oracle worker-pool size (0 = auto); outputs are worker-count independent")
-	plane := flag.Bool("plane", true, "enable the round-level shared SSSP plane (scale/churn tiers); outputs are plane-independent")
+	plane := flag.Bool("plane", true, "enable the solve-scoped shared SSSP plane (scale/churn/report tiers); outputs are plane-independent")
+	repair := flag.Bool("repair", true, "enable the plane's cross-round dirty-source repair; outputs are repair-independent")
 	flag.Parse()
 
 	if *scenario == "list" {
@@ -99,12 +109,12 @@ func main() {
 		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
 			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-			"scale", "churn"}
+			"scale", "churn", "report"}
 	}
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
 		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize, scenario: *scenario,
-		workers: *workers, disablePlane: !*plane}
+		workers: *workers, disablePlane: !*plane, disableRepair: !*repair}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "sessionsize" {
 			r.sessionSizeSet = true
@@ -132,6 +142,7 @@ type runner struct {
 	scenario       string
 	workers        int
 	disablePlane   bool
+	disableRepair  bool
 
 	settingA *experiments.SettingA
 	settingB *experiments.SettingB
@@ -458,6 +469,7 @@ func (r *runner) run(exp string) error {
 		for ci := range cfgs {
 			cfgs[ci].Workers = r.workers
 			cfgs[ci].DisablePlane = r.disablePlane
+			cfgs[ci].DisableRepair = r.disableRepair
 		}
 		rows, err := experiments.ScaleSuite(r.seed, 0.3, true, cfgs)
 		if err != nil {
@@ -467,6 +479,20 @@ func (r *runner) run(exp string) error {
 		for _, row := range rows {
 			fmt.Println(row.String())
 		}
+	case "report":
+		var names []string
+		if r.scenario != "" {
+			var err error
+			if names, err = r.scenarioNames(); err != nil {
+				return err
+			}
+		}
+		rows, err := experiments.MFvsMCFReport(r.seed, 0.3, r.workers, r.disablePlane, r.disableRepair, names, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Report tier: MF vs MCF per workload scenario (which allocation wins where)")
+		fmt.Print(experiments.RenderReport(rows))
 	case "churn":
 		var names []string
 		if r.scenario != "" {

@@ -24,10 +24,15 @@ type MaxConcurrentFlowOptions struct {
 	// used as given, so Workers=1 forces the sequential path. Outputs are
 	// bit-identical for every worker count.
 	Workers int
-	// DisablePlane turns off the round-level shared SSSP plane in every
+	// DisablePlane turns off the solve-scoped shared SSSP plane in every
 	// batched oracle round (phase loop, beta prestep, surplus pass); see
 	// MaxFlowOptions.DisablePlane. Outputs are bit-identical either way.
 	DisablePlane bool
+	// DisableRepair turns off cross-round dirty-source repair on every
+	// plane this solve creates (phase loop, beta prestep subsolves, surplus
+	// pass) and the beta prestep's cross-subproblem seed plane; see
+	// MaxFlowOptions.DisableRepair. Outputs are bit-identical either way.
+	DisableRepair bool
 	// SurplusPass, when set, routes additional MaxFlow-style traffic on the
 	// residual capacities after the fair share is secured. The paper's
 	// Table IV rates exceed lambda·dem(i) for the larger session, which is
@@ -56,10 +61,13 @@ type MCFResult struct {
 	// per-session maximum flows beta_i used for demand scaling — the second
 	// running-time component reported in Table IV.
 	PrestepMSTOps int
-	// PrestepPlane aggregates the beta prestep's plane counters, kept apart
-	// from Solution.Plane: each prestep subproblem has one session, whose
-	// plane dedups exactly 1.0, so folding these in would dilute the phase
-	// loop's cross-session dedup ratio.
+	// PrestepPlane aggregates the beta prestep's plane counters — the
+	// cross-subproblem seed fills (PlaneRounds/Sources/Requests of the seed
+	// planes), each subproblem's seed copies (PlaneSeeded) and cross-round
+	// repair skips (PlaneSkipped/PlaneRepaired) — kept apart from
+	// Solution.Plane: a prestep subproblem has one session, whose
+	// *within-batch* dedup is exactly 1.0, so folding these in would dilute
+	// the phase loop's cross-session dedup ratio.
 	PrestepPlane overlay.Metrics
 	// Betas are the single-session maximum flow values.
 	Betas []float64
@@ -97,35 +105,11 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	workers := resolveWorkers(opts.Parallel, opts.Workers)
 
 	// Pre-step: beta_i = single-session maximum flow, for demand scaling.
-	// The per-session runs are independent, so they batch across the worker
-	// pool; results land in i-indexed slots and are folded in session order,
-	// keeping betas, MSTOps, and errors identical to a sequential pass.
-	betas := make([]float64, k)
-	perSessionOps := make([]int, k)
-	perSessionPlane := make([]overlay.Metrics, k)
-	prestepErrs := make([]error, k)
-	parallelFor(workers, k, func(i int) {
-		sub := singleSessionProblem(p, i)
-		mf, err := MaxFlow(sub, MaxFlowOptions{Epsilon: eps, Workers: 1, DisablePlane: opts.DisablePlane})
-		if err != nil {
-			prestepErrs[i] = fmt.Errorf("core: beta prestep session %d: %w", i, err)
-			return
-		}
-		betas[i] = mf.SessionRate(0)
-		perSessionOps[i] = mf.MSTOps
-		perSessionPlane[i] = mf.Plane
-		if betas[i] <= 0 {
-			prestepErrs[i] = fmt.Errorf("core: session %d has zero max flow", i)
-		}
-	})
-	prestepOps := 0
-	var prestepPlane overlay.Metrics
-	for i := 0; i < k; i++ {
-		if prestepErrs[i] != nil {
-			return nil, prestepErrs[i]
-		}
-		prestepOps += perSessionOps[i]
-		prestepPlane.Merge(perSessionPlane[i])
+	// See prestep.go for the batched formulation (cross-subproblem seed
+	// plane + per-subproblem persistent planes).
+	betas, prestepOps, prestepPlane, err := prestepBetas(p, eps, workers, opts)
+	if err != nil {
+		return nil, err
 	}
 	// zeta = min_i beta_i/dem(i) upper-bounds lambda*; scaling demands by
 	// zeta/k puts the scaled optimum in [1, k].
@@ -147,12 +131,16 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	if delta < deltaFloor {
 		delta = deltaFloor
 	}
-	d := graph.NewLengths(p.G, 0)
+	vals := graph.NewLengths(p.G, 0)
 	bigD := 0.0 // D = sum_e c_e d_e, the dual objective / stop criterion
-	for e := range d {
-		d[e] = delta / p.G.Edges[e].Capacity
+	for e := range vals {
+		vals[e] = delta / p.G.Edges[e].Capacity
 		bigD += delta
 	}
+	// The ledger wraps the initial assignment as its epoch-0 contents, so
+	// every phase-loop inflation below is journaled as a monotone growth and
+	// the plane's cross-round repair can skip untouched sources.
+	d := graph.NewLengthStoreFrom(vals)
 
 	acc := newFlowAccumulator(p)
 	// Phase budget per doubling round (Lemma 6): t <= 1 + lambda·log_{1+eps}(1/delta)
@@ -170,8 +158,9 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	// the persistent worker pool (per-worker scratch); the pool outlives all
 	// phases, so goroutines and buffers are built exactly once per solve.
 	runner := overlay.NewBatchRunnerOpts(p.G, p.Oracles, overlay.BatchOptions{
-		Workers:     workers,
-		SharedPlane: !opts.DisablePlane,
+		Workers:       workers,
+		SharedPlane:   !opts.DisablePlane,
+		DisableRepair: opts.DisableRepair,
 	})
 	defer runner.Close()
 	rem := make([]float64, k)
@@ -230,8 +219,8 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 				for _, use := range t.Use() {
 					ce := p.G.Edges[use.Edge].Capacity
 					grow := 1 + eps*float64(use.Count)*c/ce
-					bigD += ce * d[use.Edge] * (grow - 1)
-					d[use.Edge] *= grow
+					bigD += ce * d.At(use.Edge) * (grow - 1)
+					d.Bump(use.Edge, grow)
 				}
 				if rem[i] > 1e-15 {
 					next = append(next, i)
@@ -273,18 +262,6 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	return res, nil
 }
 
-// singleSessionProblem projects p onto session i, reusing its oracle.
-func singleSessionProblem(p *Problem, i int) *Problem {
-	return &Problem{
-		G:            p.G,
-		Sessions:     []*overlay.Session{p.Sessions[i]},
-		Oracles:      []overlay.TreeOracle{p.Oracles[i]},
-		Mode:         p.Mode,
-		MaxReceivers: p.Sessions[i].Receivers(),
-		U:            maxInt(p.Oracles[i].MaxRouteHops(), 1),
-	}
-}
-
 // addSurplus runs a MaxFlow pass on the residual capacities left by sol and
 // merges the extra flow into sol. Edge identities are preserved because the
 // residual graph has the same (sorted) edge set.
@@ -307,7 +284,8 @@ func addSurplus(p *Problem, sol *Solution, eps float64, opts MaxConcurrentFlowOp
 		return fmt.Errorf("core: surplus problem: %w", err)
 	}
 	extra, err := MaxFlow(rp, MaxFlowOptions{
-		Epsilon: eps, Parallel: opts.Parallel, Workers: opts.Workers, DisablePlane: opts.DisablePlane,
+		Epsilon: eps, Parallel: opts.Parallel, Workers: opts.Workers,
+		DisablePlane: opts.DisablePlane, DisableRepair: opts.DisableRepair,
 	})
 	if err != nil {
 		return fmt.Errorf("core: surplus pass: %w", err)

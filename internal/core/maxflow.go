@@ -22,14 +22,27 @@ type MaxFlowOptions struct {
 	// used as given, so Workers=1 forces the sequential path. Outputs are
 	// bit-identical for every worker count.
 	Workers int
-	// DisablePlane turns off the round-level shared SSSP plane that
+	// DisablePlane turns off the solve-scoped shared SSSP plane that
 	// deduplicates per-member Dijkstra work across arbitrary-routing
 	// sessions within each oracle batch (see overlay.BatchRunner). Outputs
 	// are bit-identical with the plane on or off; the toggle exists for the
 	// determinism gate and perf comparisons. Irrelevant under fixed routing.
 	DisablePlane bool
+	// DisableRepair turns off the plane's cross-round dirty-source repair
+	// (see overlay.BatchOptions.DisableRepair): with repair on, plane rows
+	// persist across iterations and only sources whose SSSP trees intersect
+	// the edges the length ledger reports as touched are recomputed.
+	// Outputs are bit-identical with repair on or off. Irrelevant when the
+	// plane is off.
+	DisableRepair bool
 	// MaxIterations overrides the default safety bound (0 = automatic).
 	MaxIterations int
+
+	// seedPlane optionally carries a prestep seed plane whose rows were
+	// computed under this solve's exact initial lengths; see
+	// overlay.BatchOptions.Seed. Package-internal: only the MCF beta
+	// prestep sets it.
+	seedPlane *overlay.Plane
 }
 
 // RatioToEpsilon converts a target approximation ratio r (e.g. 0.95) to the
@@ -59,28 +72,18 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 	if eps <= 0 || eps > 0.5 {
 		return nil, fmt.Errorf("core: MaxFlow epsilon %v outside (0, 0.5]", eps)
 	}
-	smax := float64(p.MaxReceivers)
-	u := float64(p.U)
-	// delta = (1+eps)^(1-1/eps) / ((|Smax|-1)·U)^(1/eps)  (Lemma 3). For
-	// extreme accuracy targets the formula underflows float64 (e.g.
-	// 48^-200 at eps=0.005); we floor it at deltaFloor. A larger delta only
-	// stops the length-update loop earlier — the returned flow is still
-	// exactly feasible via the measured-congestion rescale, and the
-	// empirical gap is far below the requested eps (validated against the
-	// exact LP in tests).
-	delta := math.Pow(1+eps, 1-1/eps) / math.Pow(smax*u, 1/eps)
-	if delta < deltaFloor {
-		delta = deltaFloor
-	}
+	delta := maxFlowDelta(eps, p.MaxReceivers, p.U)
 
-	d := graph.NewLengths(p.G, delta)
+	d := graph.NewLengthStore(p.G, delta)
 	acc := newFlowAccumulator(p)
 	// One worker pool plus per-worker scratch for the whole run: the oracle
 	// fan-out below executes every iteration, and rebuilding goroutines and
 	// buffers each time used to dominate the solver's allocation profile.
 	runner := overlay.NewBatchRunnerOpts(p.G, p.Oracles, overlay.BatchOptions{
-		Workers:     resolveWorkers(opts.Parallel, opts.Workers),
-		SharedPlane: !opts.DisablePlane,
+		Workers:       resolveWorkers(opts.Parallel, opts.Workers),
+		SharedPlane:   !opts.DisablePlane,
+		DisableRepair: opts.DisableRepair,
+		Seed:          opts.seedPlane,
 	})
 	defer runner.Close()
 
@@ -120,7 +123,7 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 		}
 		acc.add(best, t, c)
 		for _, use := range t.Use() {
-			d[use.Edge] *= 1 + eps*float64(use.Count)*c/p.G.Edges[use.Edge].Capacity
+			d.Bump(use.Edge, 1+eps*float64(use.Count)*c/p.G.Edges[use.Edge].Capacity)
 		}
 	}
 	if iter >= maxIter {
@@ -136,6 +139,23 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 		sol.Scale(1 / cong)
 	}
 	return sol, nil
+}
+
+// maxFlowDelta returns the Garg–Könemann initial length for the M1 FPTAS:
+// delta = (1+eps)^(1-1/eps) / ((|Smax|-1)·U)^(1/eps) (Lemma 3). For extreme
+// accuracy targets the formula underflows float64 (e.g. 48^-200 at
+// eps=0.005); it is floored at deltaFloor. A larger delta only stops the
+// length-update loop earlier — the returned flow is still exactly feasible
+// via the measured-congestion rescale, and the empirical gap is far below
+// the requested eps (validated against the exact LP in tests). Exposed as a
+// helper so the MCF beta prestep can group subproblems that share an initial
+// length function (same |Smax| and U => same delta, bit for bit).
+func maxFlowDelta(eps float64, maxReceivers, u int) float64 {
+	delta := math.Pow(1+eps, 1-1/eps) / math.Pow(float64(maxReceivers)*float64(u), 1/eps)
+	if delta < deltaFloor {
+		delta = deltaFloor
+	}
+	return delta
 }
 
 // WeightedObjective returns the M1 objective Σ_i w_i·rate_i of a solution

@@ -20,7 +20,10 @@ import (
 type Online struct {
 	g  *graph.Graph
 	mu float64
-	d  graph.Lengths
+	// d is the versioned length ledger: joins Bump the used edges, leaves
+	// Set the affected edges back to base and replay the surviving factors,
+	// so the journal records exactly the length movement of every event.
+	d  *graph.LengthStore
 	le []float64 // congestion per edge at full demands
 
 	sessions []*overlay.Session
@@ -56,11 +59,11 @@ func NewOnline(g *graph.Graph, mu float64) (*Online, error) {
 	if mu <= 0 {
 		return nil, fmt.Errorf("core: online step size mu=%v must be positive", mu)
 	}
-	d := make(graph.Lengths, g.NumEdges())
-	for e := range d {
-		d[e] = 1 / g.Edges[e].Capacity
+	vals := make(graph.Lengths, g.NumEdges())
+	for e := range vals {
+		vals[e] = 1 / g.Edges[e].Capacity
 	}
-	return &Online{g: g, mu: mu, d: d, le: make([]float64, g.NumEdges()), scratch: overlay.NewScratch(g)}, nil
+	return &Online{g: g, mu: mu, d: graph.NewLengthStoreFrom(vals), le: make([]float64, g.NumEdges()), scratch: overlay.NewScratch(g)}, nil
 }
 
 // Join admits a new session: its tree is chosen by the oracle under the
@@ -69,7 +72,7 @@ func NewOnline(g *graph.Graph, mu float64) (*Online, error) {
 // forever.
 func (o *Online) Join(oracle overlay.TreeOracle) (*overlay.Tree, error) {
 	s := oracle.Session()
-	t, err := overlay.MinTreeWith(oracle, o.d, o.scratch)
+	t, err := overlay.MinTreeWith(oracle, o.d.Values(), o.scratch)
 	if err != nil {
 		return nil, fmt.Errorf("core: online join session %d: %w", s.ID, err)
 	}
@@ -79,7 +82,7 @@ func (o *Online) Join(oracle overlay.TreeOracle) (*overlay.Tree, error) {
 		ce := o.g.Edges[use.Edge].Capacity
 		frac := float64(use.Count) * s.Demand / ce
 		factor := 1 + o.mu*frac
-		o.d[use.Edge] *= factor
+		o.d.Bump(use.Edge, factor)
 		o.le[use.Edge] += frac
 		fs = append(fs, edgeFactor{edge: use.Edge, factor: factor, frac: frac})
 	}
@@ -122,7 +125,7 @@ func (o *Online) Leave(idx int) error {
 		}
 	}
 	for _, e := range o.affectedList {
-		o.d[e] = 1 / o.g.Edges[e].Capacity
+		o.d.Set(e, 1/o.g.Edges[e].Capacity)
 		o.le[e] = 0
 	}
 	for j, fs := range o.factors {
@@ -131,7 +134,7 @@ func (o *Online) Leave(idx int) error {
 		}
 		for _, f := range fs {
 			if o.affected[f.edge] {
-				o.d[f.edge] *= f.factor
+				o.d.Bump(f.edge, f.factor)
 				o.le[f.edge] += f.frac
 			}
 		}

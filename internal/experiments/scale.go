@@ -38,10 +38,13 @@ type ScaleConfig struct {
 	// solver outputs are bit-identical for every worker count, and the
 	// instance itself (topology, sessions) never depends on it.
 	Workers int
-	// DisablePlane turns off the solvers' round-level shared SSSP plane
+	// DisablePlane turns off the solvers' solve-scoped shared SSSP plane
 	// (see core.MaxFlowOptions.DisablePlane). Like Workers, it affects
 	// wall-clock only, never outputs or the instance.
 	DisablePlane bool
+	// DisableRepair turns off the plane's cross-round dirty-source repair
+	// (see core.MaxFlowOptions.DisableRepair). Also wall-clock only.
+	DisableRepair bool
 }
 
 func (c *ScaleConfig) normalize() error {
@@ -69,16 +72,22 @@ func (c *ScaleConfig) normalize() error {
 	return nil
 }
 
-// Name returns a compact scenario label for benchmark and report output.
+// Name returns a compact scenario label for benchmark and report output. A
+// non-default Degree is part of the identity (it changes the topology), so
+// instance caches keyed on the name cannot conflate densities.
 func (c ScaleConfig) Name() string {
 	mode := "ip"
 	if c.Arbitrary {
 		mode = "arb"
 	}
-	if c.Scenario != "" {
-		return fmt.Sprintf("%s_n%d_k%d_%s", c.Scenario, c.Nodes, c.Sessions, mode)
+	deg := ""
+	if c.Degree >= 1 && c.Degree != 2 {
+		deg = fmt.Sprintf("_d%d", c.Degree)
 	}
-	return fmt.Sprintf("n%d_k%d_s%d_%s", c.Nodes, c.Sessions, c.SessionSize, mode)
+	if c.Scenario != "" {
+		return fmt.Sprintf("%s_n%d_k%d%s_%s", c.Scenario, c.Nodes, c.Sessions, deg, mode)
+	}
+	return fmt.Sprintf("n%d_k%d_s%d%s_%s", c.Nodes, c.Sessions, c.SessionSize, deg, mode)
 }
 
 // ScaleInstance is a constructed large scenario ready to solve.
@@ -151,7 +160,8 @@ func NewScaleInstance(seed uint64, cfg ScaleConfig) (*ScaleInstance, error) {
 // size.
 func (si *ScaleInstance) MaxFlow(eps float64, parallel bool) (*core.Solution, error) {
 	return core.MaxFlow(si.Problem, core.MaxFlowOptions{
-		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers, DisablePlane: si.Config.DisablePlane,
+		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers,
+		DisablePlane: si.Config.DisablePlane, DisableRepair: si.Config.DisableRepair,
 	})
 }
 
@@ -160,7 +170,8 @@ func (si *ScaleInstance) MaxFlow(eps float64, parallel bool) (*core.Solution, er
 // config's worker-pool size.
 func (si *ScaleInstance) MCF(eps float64, parallel bool) (*core.MCFResult, error) {
 	return core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{
-		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers, DisablePlane: si.Config.DisablePlane,
+		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers,
+		DisablePlane: si.Config.DisablePlane, DisableRepair: si.Config.DisableRepair,
 	})
 }
 
@@ -187,6 +198,9 @@ func (r ScaleRow) String() string {
 	}
 	if r.Plane.PlaneRounds > 0 {
 		extra += fmt.Sprintf(" dedup=%.2fx", r.Plane.PlaneDedup())
+		if r.Plane.PlaneSkipped+r.Plane.PlaneRepaired > 0 {
+			extra += fmt.Sprintf(" repair=%.0f%%", 100*r.Plane.RepairRate())
+		}
 	}
 	return fmt.Sprintf("%-22s |E|=%-6d %-7s thpt=%-12.2f%s mstops=%-7d build=%-10v solve=%v",
 		r.Config.Name(), r.Edges, r.Solver, r.Throughput, extra, r.MSTOps,

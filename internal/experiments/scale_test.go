@@ -167,7 +167,7 @@ func TestPlaneDedupZipfHotScenarios(t *testing.T) {
 		}
 		r := overlay.NewBatchRunnerOpts(si.Problem.G, si.Problem.Oracles, overlay.BatchOptions{Workers: 1, SharedPlane: true})
 		defer r.Close()
-		d := graph.NewLengths(si.Problem.G, 1)
+		d := graph.NewLengthStore(si.Problem.G, 1)
 		for _, res := range r.MinTrees(d, nil) {
 			if res.Err != nil {
 				t.Fatal(res.Err)

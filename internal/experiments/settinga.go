@@ -38,6 +38,10 @@ type SettingA struct {
 	// solver sequential; the sweeps already parallelize across rows/trials).
 	// Results are bit-identical for every value.
 	SolverWorkers int
+	// SolverDisableRepair turns off the plane's cross-round dirty-source
+	// repair (see core.MaxFlowOptions.DisableRepair); results are
+	// bit-identical either way.
+	SolverDisableRepair bool
 	// SolverDisablePlane turns off the solvers' shared SSSP plane (see
 	// core.MaxFlowOptions.DisablePlane); results are bit-identical either
 	// way.
@@ -126,7 +130,7 @@ func (a *SettingA) MaxFlowSweep(ratios []float64, arbitrary bool) ([]FlowRow, []
 	sols := make([]*core.Solution, len(ratios))
 	errs := make([]error, len(ratios))
 	parallelFor(len(ratios), func(i int) {
-		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i]), Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane})
+		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i]), Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane, DisableRepair: a.SolverDisableRepair})
 		if err != nil {
 			errs[i] = err
 			return
@@ -172,10 +176,11 @@ func (a *SettingA) MCFSweep(ratios []float64, arbitrary bool) ([]MCFRow, []*core
 	errs := make([]error, len(ratios))
 	parallelFor(len(ratios), func(i int) {
 		res, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
-			Epsilon:      core.MCFRatioToEpsilon(ratios[i]),
-			SurplusPass:  true,
-			Workers:      a.SolverWorkers,
-			DisablePlane: a.SolverDisablePlane,
+			Epsilon:       core.MCFRatioToEpsilon(ratios[i]),
+			SurplusPass:   true,
+			Workers:       a.SolverWorkers,
+			DisablePlane:  a.SolverDisablePlane,
+			DisableRepair: a.SolverDisableRepair,
 		})
 		if err != nil {
 			errs[i] = err
@@ -264,7 +269,7 @@ func (a *SettingA) TreeLimitSweep(cfg TreeLimitConfig) (*TreeLimitResult, error)
 	}
 	base, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
 		Epsilon: core.MCFRatioToEpsilon(cfg.BaseRatio), SurplusPass: true,
-		Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane,
+		Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane, DisableRepair: a.SolverDisableRepair,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,155 @@
+package graph
+
+// This file implements the versioned length ledger. The Garg–Könemann loops
+// mutate edge lengths multiplicatively on *only the routed trees' edges* each
+// iteration, but a bare Lengths slice cannot report what changed, so every
+// consumer that caches work keyed on the length function (the shared SSSP
+// plane above all) had to rebuild from scratch after every update. A
+// LengthStore wraps the flat slice with an epoch counter, a per-edge
+// last-touched stamp, and a bounded touched-edge journal, so those consumers
+// can ask "what moved since I last looked?" and repair instead of rebuild.
+
+// Epoch is a point in a LengthStore's mutation history. Epoch 0 is the
+// store's initial contents; every mutation (Bump or Set) advances the epoch
+// by exactly one, so epochs double as a mutation count.
+type Epoch = int64
+
+// maxJournal bounds the touched-edge journal. When the journal outgrows the
+// bound its oldest half is discarded (see Touched's ok return); the per-edge
+// LastTouched stamps are complete history and are never trimmed, so repair
+// consumers falling off the window only lose the journal-replay fast path,
+// never correctness (they fall back to LastTouched walks).
+const maxJournal = 1 << 16
+
+// LengthStore is a versioned per-edge length assignment d_e — the mutable
+// dual variable of the Garg–Könemann framework — that journals its own
+// mutations. All reads go through Values/At; all writes go through Bump/Set,
+// which advance the epoch and stamp the touched edge. The store additionally
+// tracks monotonicity: MonotoneSince reports whether every mutation in an
+// epoch range could only have *increased* lengths, the precondition under
+// which a cached shortest-path tree that avoids every touched edge is
+// provably still exact (see overlay.Plane).
+//
+// A LengthStore is single-writer: mutations must come from one goroutine,
+// with the usual happens-before edges before concurrent readers (the batch
+// runner's worker handoff provides them).
+type LengthStore struct {
+	vals  Lengths
+	epoch Epoch
+	// lastTouch[e] is the epoch of e's most recent mutation (0 = never
+	// touched since construction).
+	lastTouch []Epoch
+	// lastShrink is the epoch of the most recent mutation that was not a
+	// pure growth (a Set, or a Bump with factor < 1). 0 = none.
+	lastShrink Epoch
+	// journal[i] is the edge mutated at epoch firstEpoch+1+i; the journal is
+	// a sliding window over the most recent mutations.
+	journal    []EdgeID
+	firstEpoch Epoch // epoch represented by the state *before* journal[0]
+}
+
+// NewLengthStore returns a ledger over g with every edge length init, at
+// epoch 0.
+func NewLengthStore(g *Graph, init float64) *LengthStore {
+	return NewLengthStoreFrom(NewLengths(g, init))
+}
+
+// NewLengthStoreFrom wraps vals (taking ownership) as the ledger's epoch-0
+// contents.
+func NewLengthStoreFrom(vals Lengths) *LengthStore {
+	return &LengthStore{vals: vals, lastTouch: make([]Epoch, len(vals))}
+}
+
+// Values returns the live length slice for read-only use (oracle calls, path
+// length sums). Mutating it directly bypasses the ledger and breaks every
+// consumer keyed on epochs — always write through Bump/Set.
+func (s *LengthStore) Values() Lengths { return s.vals }
+
+// At returns d_e.
+func (s *LengthStore) At(e EdgeID) float64 { return s.vals[e] }
+
+// Len returns the number of edges.
+func (s *LengthStore) Len() int { return len(s.vals) }
+
+// Epoch returns the current epoch (the number of mutations so far).
+func (s *LengthStore) Epoch() Epoch { return s.epoch }
+
+// LastTouched returns the epoch of e's most recent mutation (0 = never).
+func (s *LengthStore) LastTouched(e EdgeID) Epoch { return s.lastTouch[e] }
+
+// Bump multiplies d_e by factor and journals the touch. The Garg–Könemann
+// updates always have factor >= 1; a factor below 1 is legal but marks the
+// epoch as non-monotone, which forces full refills on repair-capable
+// consumers (shrinking an untouched-tree edge can re-route shortest paths).
+func (s *LengthStore) Bump(e EdgeID, factor float64) {
+	s.vals[e] *= factor
+	s.touch(e, factor < 1)
+}
+
+// Set assigns d_e = v and journals the touch as non-monotone (a wholesale
+// assignment can shrink).
+func (s *LengthStore) Set(e EdgeID, v float64) {
+	s.vals[e] = v
+	s.touch(e, true)
+}
+
+func (s *LengthStore) touch(e EdgeID, shrink bool) {
+	s.epoch++
+	s.lastTouch[e] = s.epoch
+	if shrink {
+		s.lastShrink = s.epoch
+	}
+	if len(s.journal) >= maxJournal {
+		half := len(s.journal) / 2
+		s.firstEpoch += Epoch(half)
+		s.journal = s.journal[:copy(s.journal, s.journal[half:])]
+	}
+	s.journal = append(s.journal, e)
+}
+
+// MonotoneSince reports whether every mutation after epoch `since` was a
+// pure growth (Bump with factor >= 1). It needs no journal history, so it is
+// exact for any since.
+func (s *LengthStore) MonotoneSince(since Epoch) bool { return s.lastShrink <= since }
+
+// TouchedCount returns the number of mutations after epoch `since` (counting
+// repeat touches of one edge individually).
+func (s *LengthStore) TouchedCount(since Epoch) Epoch { return s.epoch - since }
+
+// ForEachTouched calls fn for every journal entry after epoch `since`, in
+// mutation order (an edge mutated twice appears twice), stopping early when
+// fn returns true. It reports whether the journal still covers that range;
+// ok=false means history older than the journal window was requested and
+// the caller must assume everything moved. This is the repair hot path: the
+// plane's dirty-source check replays the window against a row's stored
+// parent tree (stopping at the first tree hit) before falling back to
+// per-path LastTouched walks.
+func (s *LengthStore) ForEachTouched(since Epoch, fn func(EdgeID) (stop bool)) (ok bool) {
+	if since < s.firstEpoch {
+		return false
+	}
+	for _, e := range s.journal[since-s.firstEpoch:] {
+		if fn(e) {
+			break
+		}
+	}
+	return true
+}
+
+// Touched returns the distinct edges mutated after epoch `since`, in
+// first-touch order. ok=false means the journal window no longer covers
+// `since` (see ForEachTouched). It allocates; it is a diagnostic/test API,
+// not the hot path (hot consumers use LastTouched stamps or ForEachTouched).
+func (s *LengthStore) Touched(since Epoch) (edges []EdgeID, ok bool) {
+	if since < s.firstEpoch {
+		return nil, false
+	}
+	seen := make(map[EdgeID]bool)
+	for _, e := range s.journal[since-s.firstEpoch:] {
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	return edges, true
+}

@@ -2,6 +2,7 @@ package overlay
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"overcast/internal/graph"
@@ -15,10 +16,14 @@ import (
 // Aliasing contract: the []BatchResult slice a runner returns is reused — the
 // next MinTrees/MinTreesLen call on the same runner overwrites every slot in
 // place. Consume (or copy) the results before rebatching; holding the slice
-// across calls observes the *next* batch's trees. The Tree pointers
-// themselves are freshly allocated per evaluation, never recycled, so trees
-// extracted from a batch stay valid indefinitely
-// (TestBatchResultSliceReusedAcrossCalls pins both halves of this contract).
+// across calls observes the *next* batch's trees. The Tree objects are never
+// mutated after they are returned, so trees extracted from a batch stay
+// valid (and bitwise intact) indefinitely; with cross-round repair enabled a
+// later batch may return the *same* Tree pointer again when the length
+// ledger proves the recomputation would be identical (the tree cache) —
+// callers must not rely on pointer freshness, only on immutability
+// (TestBatchResultSliceReusedAcrossCalls pins the slice half of this
+// contract, TestTreeCacheServesIdenticalTrees the tree half).
 type BatchResult struct {
 	Tree *Tree
 	Len  float64
@@ -31,17 +36,38 @@ type BatchOptions struct {
 	// clamped to the oracle count unless the shared plane is active (plane
 	// rows can outnumber oracles, so extra workers still help stage 1).
 	Workers int
-	// SharedPlane enables the round-level shared SSSP plane: each batch
-	// first fills one Dijkstra row per *distinct* member source across the
-	// worker pool, then assembles every plane-aware oracle's tree from those
-	// rows. Outputs are bitwise identical with the plane on or off (identical
-	// Dijkstras over the identical snapshot, whichever stage runs them); the
-	// toggle exists for the determinism gate and perf comparisons. It is a
-	// no-op for oracle sets without a PlaneOracle (e.g. all fixed-routing).
+	// SharedPlane enables the solve-scoped shared SSSP plane: each batch
+	// first ensures one Dijkstra row per *distinct* member source of its
+	// plane-aware oracles, then assembles every plane-aware oracle's tree
+	// from those rows. Outputs are bitwise identical with the plane on or
+	// off (identical Dijkstras over the identical snapshot, whichever stage
+	// runs them); the toggle exists for the determinism gate and perf
+	// comparisons. It is a no-op for oracle sets without a PlaneOracle
+	// (e.g. all fixed-routing).
 	SharedPlane bool
+	// DisableRepair turns off cross-round dirty-source repair: with repair
+	// on (the default when the plane is active), rows persist across batches
+	// and are refilled only when the length ledger shows a touched edge
+	// inside the row's stored SSSP tree — unaffected sources skip their
+	// Dijkstra entirely. Sound because the solvers' length updates are
+	// monotone growths (LengthStore.MonotoneSince guards the rest): growing
+	// an edge outside a shortest-path tree cannot change any distance, and
+	// the deterministic tie-breaks resolve identically, so the stored row is
+	// bitwise what a refill would produce. Outputs are bit-identical with
+	// repair on or off; the toggle exists for the determinism gate and perf
+	// comparisons.
+	DisableRepair bool
+	// Seed optionally names a read-only plane whose rows were filled under
+	// lengths bitwise identical to the epoch-0 contents of the ledgers this
+	// runner will see. Rows first staged while the ledger is monotone-clean
+	// since epoch 0 are copied from the seed (O(n)) instead of computed
+	// (O((n+m)log n)) — the MCF beta prestep shares one seed across all
+	// same-delta subproblems this way. The seed must not be mutated while
+	// any runner holds it.
+	Seed *Plane
 }
 
-// BatchRunner evaluates many oracles' MinTree under a shared length function
+// BatchRunner evaluates many oracles' MinTree under a shared length ledger
 // with a persistent worker pool and one Scratch per worker. The paper's phase
 // loops query the same oracle set thousands of times; a runner amortizes both
 // the goroutines and the scratch buffers across all of those batches instead
@@ -54,14 +80,15 @@ type BatchOptions struct {
 // (both built-in oracles are: MinTreeWith touches only the per-call Scratch).
 //
 // With the shared plane enabled (BatchOptions.SharedPlane; the default of
-// NewBatchRunner) each batch runs as two stages. Stage 1 collects the
-// distinct member sources of the batch's plane-aware oracles — in batch
-// order, so row assignment is canonical — and fans the rows across the
-// worker pool, each worker filling its assigned rows with pooled Dijkstra
-// buffers. Stage 2 evaluates the batch slots as before, except plane-aware
-// oracles assemble their overlay weights and routes from the plane rows
-// instead of re-running per-member Dijkstras. The WaitGroup barrier between
-// the stages orders all row writes before any stage-2 read.
+// NewBatchRunner) each batch runs as two stages. Stage 1 walks the distinct
+// member sources of the batch's plane-aware oracles — in batch order, so row
+// assignment is canonical — and classifies each row: already proven current
+// (cross-round repair skip), copyable from a prestep seed, or needing a
+// fill; the fills fan across the worker pool, each worker using pooled
+// Dijkstra buffers. Stage 2 evaluates the batch slots as before, except
+// plane-aware oracles assemble their overlay weights and routes from the
+// plane rows instead of re-running per-member Dijkstras. The WaitGroup
+// barrier between the stages orders all row writes before any stage-2 read.
 type BatchRunner struct {
 	g       *graph.Graph
 	oracles []TreeOracle
@@ -74,12 +101,38 @@ type BatchRunner struct {
 	// Shared SSSP plane (nil when disabled or no oracle can use it).
 	// planeLive marks that the current batch staged and filled rows, so
 	// eval may read them; filling flips the meaning of a job from "evaluate
-	// batch slot" to "fill plane row". Both fields are written by the batch
-	// goroutine only, between the pool's channel/WaitGroup barriers.
+	// batch slot" to "fill plane row". All these fields are written by the
+	// batch goroutine only, between the pool's channel/WaitGroup barriers.
 	plane     *Plane
 	planeLive bool
 	filling   bool
-	metrics   Metrics
+	repair    bool
+	seed      *Plane
+	// targets[src] is the static set of co-members whose reads row src
+	// serves; the dirty-source repair check walks exactly these stored
+	// paths. Built once at construction (nil when the plane is off).
+	targets map[graph.NodeID][]graph.NodeID
+	// cache[i] is oracle i's last plane-assembled tree with the ledger epoch
+	// it was built at (nil tree = empty). When every member row of the
+	// oracle still has DijkstraEpoch <= the entry's epoch, the rows are
+	// bitwise unchanged since the tree was assembled, so the identical tree
+	// is returned without re-running Prim or route extraction. useCache is
+	// the per-batch-slot decision, precomputed sequentially in stagePlane so
+	// the metrics stay single-writer.
+	cache    []treeCacheEntry
+	useCache []bool
+	metrics  Metrics
+	// ls is the ledger of the current batch; lastStore remembers the ledger
+	// of the previous batch so a ledger swap (a different solve phase, a
+	// test driving rounds with fresh stores) invalidates every persistent
+	// row instead of trusting stale epochs. curEpoch is the batch's ledger
+	// epoch, published before the jobs fan out.
+	lastStore *graph.LengthStore
+	curEpoch  graph.Epoch
+	// staged/toFill are per-batch scratch: rows referenced by this batch and
+	// the subset that needs a Dijkstra.
+	staged []int32
+	toFill []int32
 
 	// Parallel mode: persistent workers fed per-batch via jobs. d, ids and
 	// out describe the current batch; they are published before the job sends
@@ -94,8 +147,9 @@ type BatchRunner struct {
 }
 
 // NewBatchRunner builds a runner over oracles with the requested worker-pool
-// size and the shared SSSP plane enabled (a no-op for oracle sets that
-// cannot use it); see NewBatchRunnerOpts for the full contract.
+// size, the shared SSSP plane enabled (a no-op for oracle sets that cannot
+// use it), and cross-round repair on; see NewBatchRunnerOpts for the full
+// contract.
 func NewBatchRunner(g *graph.Graph, oracles []TreeOracle, workers int) *BatchRunner {
 	return NewBatchRunnerOpts(g, oracles, BatchOptions{Workers: workers, SharedPlane: true})
 }
@@ -104,7 +158,7 @@ func NewBatchRunner(g *graph.Graph, oracles []TreeOracle, workers int) *BatchRun
 // GOMAXPROCS, and the pool is never larger than the oracle set unless the
 // plane is active. With one worker the runner degrades to a single-scratch
 // sequential path with zero goroutines; results are identical either way —
-// and identical with the plane on or off.
+// and identical with the plane or repair on or off.
 func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions) *BatchRunner {
 	var plane *Plane
 	if opts.SharedPlane {
@@ -125,7 +179,16 @@ func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions)
 	if workers < 1 {
 		workers = 1
 	}
-	r := &BatchRunner{g: g, oracles: oracles, workers: workers, plane: plane, out: make([]BatchResult, len(oracles))}
+	r := &BatchRunner{
+		g: g, oracles: oracles, workers: workers,
+		plane: plane, repair: !opts.DisableRepair, seed: opts.Seed,
+		out: make([]BatchResult, len(oracles)),
+	}
+	if plane != nil && r.repair {
+		r.targets = planeTargets(oracles)
+		r.cache = make([]treeCacheEntry, len(oracles))
+		r.useCache = make([]bool, len(oracles))
+	}
 	if workers == 1 {
 		r.seq = NewScratch(g)
 		return r
@@ -136,7 +199,7 @@ func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions)
 			sc := NewScratch(g)
 			for pos := range r.jobs {
 				if r.filling {
-					r.plane.FillRow(pos, r.d, sc.dijkstra())
+					r.plane.FillRow(int(r.toFill[pos]), r.d, sc.dijkstra())
 				} else {
 					r.eval(pos, sc)
 				}
@@ -154,6 +217,13 @@ func (r *BatchRunner) Workers() int { return r.workers }
 // between batches (the counters are updated while a batch is staged).
 func (r *BatchRunner) Metrics() Metrics { return r.metrics }
 
+// treeCacheEntry is one oracle's last plane-assembled tree and the ledger
+// epoch its input rows carried.
+type treeCacheEntry struct {
+	tree  *Tree
+	epoch graph.Epoch
+}
+
 // eval computes the tree of the oracle in batch slot pos.
 func (r *BatchRunner) eval(pos int, sc *Scratch) {
 	i := pos
@@ -164,7 +234,14 @@ func (r *BatchRunner) eval(pos int, sc *Scratch) {
 	var err error
 	if r.planeLive {
 		if po, ok := r.oracles[i].(PlaneOracle); ok {
-			t, err = po.MinTreeFromPlane(r.d, r.plane, sc)
+			if r.useCache != nil && r.useCache[pos] {
+				t = r.cache[i].tree
+			} else {
+				t, err = po.MinTreeFromPlane(r.d, r.plane, sc)
+				if err == nil && r.cache != nil {
+					r.cache[i] = treeCacheEntry{tree: t, epoch: r.curEpoch}
+				}
+			}
 		}
 	}
 	if t == nil && err == nil {
@@ -181,18 +258,142 @@ func (r *BatchRunner) eval(pos int, sc *Scratch) {
 	r.out[pos] = res
 }
 
-// stagePlane runs stage 1 of a batch: collect the distinct member sources of
+// rowCurrent reports whether the stored content of row is provably
+// interchangeable with a fresh Dijkstra under ls's current lengths for
+// every read any oracle can make of it — the dirty-source repair check.
+//
+// The oracles never read a whole row: MinTreeFromPlane reads, for the row
+// rooted at member i, only dist[m_j] (overlay weights) and the stored
+// parent chains m_j -> m_i (route extraction) for the co-members j > i of
+// the sessions containing the source. Those targets are static (member sets
+// never change), precomputed per source at construction (planeTargets). The
+// row therefore stays serviceable iff
+//
+//	(a) every ledger mutation since the row's fill epoch was a monotone
+//	    growth (LengthStore.MonotoneSince), and
+//	(b) no edge on a stored source->target path was touched since then
+//	    (established either by replaying the ledger's touched-edge journal
+//	    against the row's stored parent tree — the fast path, which when
+//	    clean proves the whole row current — or by walking the stored
+//	    target paths against the per-edge LastTouched stamps).
+//
+// Why that is bit-exact: growing edges can never lower any distance, so an
+// untouched stored shortest path keeps both its length and its optimality —
+// dist[target] is unchanged. And the deterministic relaxation replay
+// resolves the parent chain identically: every node on the untouched path
+// still pops at the same relative position (competitors' keys only grew),
+// still receives its stored winning offer first (the offer is untouched),
+// and competing offers only became more losing. Touched edges elsewhere in
+// the row's SSSP tree may well change the parts nobody reads; the row is
+// then stale-but-serviceable, which is why a skip advances the row's epoch:
+// path cleanliness composes ((fill,cur] clean and (cur,cur'] clean iff
+// (fill,cur'] clean) precisely because the checked target set is static.
+func (r *BatchRunner) rowCurrent(ls *graph.LengthStore, row int) bool {
+	fill := r.plane.FillEpoch(row)
+	if fill < 0 {
+		return false
+	}
+	if fill == ls.Epoch() {
+		return true
+	}
+	if !ls.MonotoneSince(fill) {
+		return false
+	}
+	parents := r.plane.ParentRow(row)
+	// Journal fast path: when the mutation window since fill is short,
+	// replay it and test each touched edge against the row's *whole* stored
+	// SSSP tree — an edge is a parent edge iff it is the stored parent of
+	// one of its own two endpoints, so each probe is O(1). No touched tree
+	// edge at all is the original full-row argument: the entire row (not
+	// just the read paths) is bitwise what a recompute would produce. A tree
+	// hit is merely inconclusive (the touched edge may sit outside every
+	// read path), so fall through to the exact walk below.
+	if cnt := ls.TouchedCount(fill); cnt < graph.Epoch(len(parents)) {
+		clean := true
+		if ls.ForEachTouched(fill, func(e graph.EdgeID) bool {
+			edge := r.g.Edges[e]
+			if parents[edge.U] == e || parents[edge.V] == e {
+				clean = false
+			}
+			return !clean
+		}) && clean {
+			return true
+		}
+	}
+	src := r.plane.Source(row)
+	for _, t := range r.targets[src] {
+		for v := t; v != src; {
+			e := parents[v]
+			if e < 0 || ls.LastTouched(e) > fill {
+				return false
+			}
+			edge := r.g.Edges[e]
+			if v == edge.U {
+				v = edge.V
+			} else {
+				v = edge.U
+			}
+		}
+	}
+	return true
+}
+
+// planeTargets precomputes, for every distinct plane source, the union of
+// co-members whose distance/route reads are served from that source's row
+// (the co-members with a larger member index, over all sessions — see
+// ArbitraryOracle.MinTreeFromPlane's weight orientation), deduplicated and
+// sorted. The sets are static because session member lists are immutable.
+func planeTargets(oracles []TreeOracle) map[graph.NodeID][]graph.NodeID {
+	targets := make(map[graph.NodeID][]graph.NodeID)
+	for _, o := range oracles {
+		po, ok := o.(PlaneOracle)
+		if !ok {
+			continue
+		}
+		members := po.PlaneSources()
+		for i, s := range members {
+			targets[s] = append(targets[s], members[i+1:]...)
+		}
+	}
+	for s, ts := range targets {
+		sort.Ints(ts)
+		dedup := ts[:0]
+		for i, t := range ts {
+			if i == 0 || t != ts[i-1] {
+				dedup = append(dedup, t)
+			}
+		}
+		targets[s] = dedup
+	}
+	return targets
+}
+
+// stagePlane runs stage 1 of a batch: walk the distinct member sources of
 // the batch's plane-aware oracles (in batch order — canonical row
-// assignment) and fill one SSSP row per source under the batch's snapshot,
-// fanned across the worker pool in parallel mode. No-op when the plane is
-// disabled or the batch has no plane-aware oracle.
-func (r *BatchRunner) stagePlane(n int) {
+// assignment), prove stored rows current where the ledger allows (repair),
+// copy first-staged rows from the seed where one applies, and fill the rest
+// under the batch's snapshot, fanned across the worker pool in parallel
+// mode. No-op when the plane is disabled or the batch has no plane-aware
+// oracle.
+func (r *BatchRunner) stagePlane(ls *graph.LengthStore, n int) {
 	r.planeLive = false
 	if r.plane == nil {
 		return
 	}
-	r.plane.Reset()
+	if ls != r.lastStore {
+		// A different ledger: every persistent row's epoch (and every cached
+		// tree derived from its rows) is meaningless.
+		r.plane.Reset()
+		for i := range r.cache {
+			r.cache[i] = treeCacheEntry{}
+		}
+		r.lastStore = ls
+	}
+	r.plane.BeginBatch()
+	cur := ls.Epoch()
+	r.curEpoch = cur
 	requests := 0
+	r.staged = r.staged[:0]
 	for pos := 0; pos < n; pos++ {
 		i := pos
 		if r.ids != nil {
@@ -205,58 +406,142 @@ func (r *BatchRunner) stagePlane(n int) {
 		srcs := po.PlaneSources()
 		requests += len(srcs)
 		for _, s := range srcs {
-			r.plane.Stage(s)
+			if row, first := r.plane.Reference(s); first {
+				r.staged = append(r.staged, int32(row))
+			}
 		}
 	}
-	ns := r.plane.NumSources()
-	if ns == 0 {
+	if len(r.staged) == 0 {
 		return
 	}
 	r.planeLive = true
 	r.metrics.PlaneRounds++
-	r.metrics.PlaneSources += ns
 	r.metrics.PlaneRequests += requests
-	if r.workers == 1 || ns == 1 {
+
+	// Classify: current (skip), seedable (copy), or fill.
+	r.toFill = r.toFill[:0]
+	for _, row32 := range r.staged {
+		row := int(row32)
+		if r.plane.FillEpoch(row) < 0 {
+			// New this batch. A seed row is the epoch-0 content; it is
+			// current iff nothing has shrunk and nothing in its tree grew
+			// since epoch 0 — which the standard check verifies after the
+			// copy (fill==0 vs cur).
+			if r.seed != nil && r.plane.CopyRow(row, r.seed, r.plane.Source(row)) {
+				r.plane.SetFillEpoch(row, 0)
+				if cur == 0 || (r.repair && r.rowCurrent(ls, row)) {
+					r.plane.SetFillEpoch(row, cur)
+					r.plane.SetDijkstraEpoch(row, cur)
+					r.metrics.PlaneSeeded++
+					continue
+				}
+				// Seed content is stale under these lengths: recompute.
+				r.plane.SetFillEpoch(row, -1)
+			}
+			r.toFill = append(r.toFill, int32(row))
+			continue
+		}
+		if r.repair {
+			if r.rowCurrent(ls, row) {
+				r.plane.SetFillEpoch(row, cur)
+				r.plane.Validate(row)
+				r.metrics.PlaneSkipped++
+				continue
+			}
+			r.metrics.PlaneRepaired++
+		}
+		r.toFill = append(r.toFill, int32(row))
+	}
+	nf := len(r.toFill)
+	r.metrics.PlaneSources += nf
+	for _, row := range r.toFill {
+		r.plane.SetFillEpoch(int(row), cur)
+		r.plane.SetDijkstraEpoch(int(row), cur)
+	}
+	r.decideTreeCache(n)
+	if nf == 0 {
+		return
+	}
+	if r.workers == 1 || nf == 1 {
 		if r.seq == nil {
 			r.seq = NewScratch(r.g)
 		}
 		sp := r.seq.dijkstra()
-		for row := 0; row < ns; row++ {
-			r.plane.FillRow(row, r.d, sp)
+		for _, row := range r.toFill {
+			r.plane.FillRow(int(row), r.d, sp)
 		}
 		return
 	}
 	r.filling = true
-	r.wg.Add(ns)
-	for row := 0; row < ns; row++ {
-		r.jobs <- row
+	r.wg.Add(nf)
+	for pos := 0; pos < nf; pos++ {
+		r.jobs <- pos
 	}
 	r.wg.Wait()
 	r.filling = false
 }
 
-// MinTrees evaluates the oracles named by ids (nil = all oracles) under d and
-// returns one result per id, in id-list order, with Len left zero. d must
-// not be mutated until MinTrees returns. The returned slice is reused by the
-// next call — consume it first. Trees in the results do not alias runner
-// state and stay valid indefinitely.
-func (r *BatchRunner) MinTrees(d graph.Lengths, ids []int) []BatchResult {
-	return r.run(d, ids, false)
+// decideTreeCache precomputes, per batch slot, whether the oracle's cached
+// tree is still bitwise exact: every member row's last actual Dijkstra must
+// predate (or coincide with) the epoch the tree was assembled at. Runs
+// sequentially before the eval fan-out so the metrics stay single-writer and
+// the workers only read the decisions.
+func (r *BatchRunner) decideTreeCache(n int) {
+	if r.cache == nil {
+		return
+	}
+	for pos := 0; pos < n; pos++ {
+		r.useCache[pos] = false
+		i := pos
+		if r.ids != nil {
+			i = r.ids[pos]
+		}
+		po, ok := r.oracles[i].(PlaneOracle)
+		if !ok {
+			continue
+		}
+		ce := r.cache[i]
+		if ce.tree == nil {
+			continue
+		}
+		current := true
+		for _, s := range po.PlaneSources() {
+			row := r.plane.Row(s)
+			if row < 0 || r.plane.DijkstraEpoch(row) > ce.epoch {
+				current = false
+				break
+			}
+		}
+		if current {
+			r.useCache[pos] = true
+			r.metrics.PlaneTreeHits++
+		}
+	}
+}
+
+// MinTrees evaluates the oracles named by ids (nil = all oracles) under ls's
+// current lengths and returns one result per id, in id-list order, with Len
+// left zero. ls must not be mutated until MinTrees returns. The returned
+// slice is reused by the next call — consume it first. Trees in the results
+// do not alias runner state and stay valid indefinitely.
+func (r *BatchRunner) MinTrees(ls *graph.LengthStore, ids []int) []BatchResult {
+	return r.run(ls, ids, false)
 }
 
 // MinTreesLen is MinTrees with each result's Len filled with the tree's raw
-// length under d (computed on the workers, so the extra pass parallelizes).
-func (r *BatchRunner) MinTreesLen(d graph.Lengths, ids []int) []BatchResult {
-	return r.run(d, ids, true)
+// length under the snapshot (computed on the workers, so the extra pass
+// parallelizes).
+func (r *BatchRunner) MinTreesLen(ls *graph.LengthStore, ids []int) []BatchResult {
+	return r.run(ls, ids, true)
 }
 
-func (r *BatchRunner) run(d graph.Lengths, ids []int, wantLen bool) []BatchResult {
+func (r *BatchRunner) run(ls *graph.LengthStore, ids []int, wantLen bool) []BatchResult {
 	n := len(r.oracles)
 	if ids != nil {
 		n = len(ids)
 	}
-	r.d, r.ids, r.wantLen = d, ids, wantLen
-	r.stagePlane(n)
+	r.d, r.ids, r.wantLen = ls.Values(), ids, wantLen
+	r.stagePlane(ls, n)
 	if r.workers == 1 || n == 1 {
 		// Single slot or single worker: evaluate inline. The parallel
 		// variant's scratch lives in its workers, so the inline path keeps

@@ -60,7 +60,8 @@ func TestBatchMatchesDirectMinTree(t *testing.T) {
 		r := NewBatchRunner(g, oracles, workers)
 		for round := 0; round < 3; round++ {
 			d := lengthsFor(g, round)
-			results := r.MinTreesLen(d, nil)
+			ls := graph.NewLengthStoreFrom(d)
+			results := r.MinTreesLen(ls, nil)
 			if len(results) != len(oracles) {
 				t.Fatalf("workers=%d: %d results for %d oracles", workers, len(results), len(oracles))
 			}
@@ -81,7 +82,7 @@ func TestBatchMatchesDirectMinTree(t *testing.T) {
 			}
 			// The length-oblivious variant must return the same trees with
 			// Len left zero.
-			for i, res := range r.MinTrees(d, nil) {
+			for i, res := range r.MinTrees(ls, nil) {
 				if res.Len != 0 {
 					t.Fatalf("workers=%d oracle %d: MinTrees filled Len %v", workers, i, res.Len)
 				}
@@ -107,8 +108,9 @@ func TestBatchSubsetEvaluation(t *testing.T) {
 	for _, workers := range []int{1, 3} {
 		r := NewBatchRunner(g, oracles, workers)
 		d := lengthsFor(g, 1)
+		ls := graph.NewLengthStoreFrom(d)
 		for _, ids := range [][]int{{5, 1, 6}, {7}, {0, 2, 3, 4, 5, 6, 7, 1}} {
-			results := r.MinTrees(d, ids)
+			results := r.MinTrees(ls, ids)
 			if len(results) != len(ids) {
 				t.Fatalf("workers=%d: %d results for ids %v", workers, len(results), ids)
 			}
@@ -161,13 +163,14 @@ func TestBatchResultSliceReusedAcrossCalls(t *testing.T) {
 	r := NewBatchRunner(g, oracles, 1)
 	defer r.Close()
 	d := lengthsFor(g, 0)
+	ls := graph.NewLengthStoreFrom(d)
 
-	first := r.MinTrees(d, []int{0, 1})
+	first := r.MinTrees(ls, []int{0, 1})
 	// Consume properly: copy the tree pointers and their canonical keys out.
 	firstTrees := []*Tree{first[0].Tree, first[1].Tree}
 	firstKeys := []string{first[0].Tree.Key(), first[1].Tree.Key()}
 
-	second := r.MinTrees(d, []int{2, 3})
+	second := r.MinTrees(ls, []int{2, 3})
 	if &first[0] != &second[0] {
 		t.Fatal("result slices no longer alias — the BatchResult reuse contract changed; update its docs and this test")
 	}
@@ -204,10 +207,11 @@ func TestBatchOracleAllocs(t *testing.T) {
 	r := NewBatchRunner(g, oracles, 1)
 	defer r.Close()
 	d := lengthsFor(g, 0)
+	ls := graph.NewLengthStoreFrom(d)
 	ids := []int{0, 1, 2, 3, 4, 5}
-	r.MinTrees(d, ids) // warm up scratch growth
+	r.MinTrees(ls, ids) // warm up scratch growth
 	avg := testing.AllocsPerRun(50, func() {
-		res := r.MinTrees(d, ids)
+		res := r.MinTrees(ls, ids)
 		if res[0].Err != nil {
 			t.Fatal(res[0].Err)
 		}
@@ -225,10 +229,11 @@ func BenchmarkBatchMinTrees(b *testing.B) {
 	r := NewBatchRunner(g, oracles, 1)
 	defer r.Close()
 	d := lengthsFor(g, 0)
+	ls := graph.NewLengthStoreFrom(d)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := r.MinTrees(d, nil)
+		res := r.MinTrees(ls, nil)
 		if res[0].Err != nil {
 			b.Fatal(res[0].Err)
 		}

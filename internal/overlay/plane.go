@@ -8,29 +8,37 @@ import (
 )
 
 // Plane is a shared store of single-source shortest-path (SSSP) rows — one
-// Dijkstra distance/parent array pair per source node — computed once under an
-// immutable length snapshot and then read by many consumers. It exists
-// because the paper's Sec. V arbitrary-routing oracle runs one Dijkstra per
-// session member per MinTree call, while the batched phase rounds (PR 3)
-// evaluate every pending session under a *single* length snapshot: when Zipf
-// node popularity puts the same hot nodes in many sessions, the per-session
-// oracles recompute identical SSSP trees dozens of times per round. Staging
-// the union of the round's member sources on a plane converts that
-// O(sessions x members) Dijkstra cost into O(distinct members).
+// Dijkstra distance/parent array pair per source node — computed under a
+// length snapshot and read by many consumers. It exists because the paper's
+// Sec. V arbitrary-routing oracle runs one Dijkstra per session member per
+// MinTree call, while the batched phase rounds (PR 3) evaluate every pending
+// session under a *single* length snapshot: when Zipf node popularity puts
+// the same hot nodes in many sessions, the per-session oracles recompute
+// identical SSSP trees dozens of times per round. Staging the union of the
+// round's member sources on a plane converts that O(sessions x members)
+// Dijkstra cost into O(distinct members).
+//
+// Since the length-ledger refactor the plane is additionally *persistent*
+// across rounds: rows carry the ledger epoch they were filled at
+// (FillEpoch/SetFillEpoch), and a batch driver holding a graph.LengthStore
+// can prove a stored row is still exact without recomputing it — see
+// BatchRunner's dirty-source repair. The proof obligation lives with the
+// driver; the plane itself only stores the rows and their epochs.
 //
 // Determinism: a row's content is a pure function of (graph, source, length
 // snapshot) — DijkstraScratch.ShortestPathsInto has deterministic tie-breaks
 // and no shared mutable state — so distances and parent edges are bitwise
 // identical whether a row is filled by stage-1 plane workers, by the
 // sequential path, or inside a plane-oblivious MinTreeWith call. Plane
-// on/off and worker count therefore never change solver outputs.
+// on/off, repair on/off, and worker count therefore never change solver
+// outputs.
 //
-// Lifecycle: Reset, Stage each source, fill every row (FillRow per row or
-// Fill for the standalone one-shot case), then read via Lookup. Staging and
-// filling are single-goroutine operations except for FillRow, which may run
-// concurrently for distinct rows; once filled, the plane is safe for any
-// number of concurrent readers until the next Reset. Row storage is pooled
-// across Reset cycles, so a round-loop reuses its buffers.
+// Lifecycle (one-shot consumers like the churn prefabrication): Reset, Stage
+// each source, Fill, then read via Lookup. Staging and filling are
+// single-goroutine operations except for FillRow, which may run concurrently
+// for distinct rows; once filled, the plane is safe for any number of
+// concurrent readers until the next mutation. Row storage is pooled across
+// Reset cycles, so a round-loop reuses its buffers.
 type Plane struct {
 	g *graph.Graph
 	// rowOf maps a node id to its row index in the current cycle (-1 when the
@@ -40,6 +48,24 @@ type Plane struct {
 	sources []graph.NodeID
 	dists   [][]float64
 	parents [][]graph.EdgeID
+	// fillEpoch[row] is the ledger epoch the row's content corresponds to;
+	// maintained by the batch driver (Fill/FillRow leave it to the caller,
+	// which knows which ledger — if any — the lengths came from).
+	fillEpoch []graph.Epoch
+	// dijkstraEpoch[row] is the ledger epoch of the row's last *actual*
+	// (re)computation — unlike fillEpoch it does not advance on repair
+	// skips, so a consumer caching values derived from row reads (the batch
+	// runner's tree cache) can tell "content provably unchanged" from
+	// "content recomputed and possibly different".
+	dijkstraEpoch []graph.Epoch
+	// valid[row] marks the batch stamp the row was last filled or proven
+	// current at; Lookup serves only rows validated in the current stamp, so
+	// stale persistent rows can never leak into an oracle read.
+	valid []uint32
+	// refStamp[row] marks the batch stamp the row was last referenced at, so
+	// Reference deduplicates within a batch in O(1).
+	refStamp []uint32
+	stamp    uint32
 }
 
 // NewPlane returns an empty plane over g. Row storage grows on first use and
@@ -49,10 +75,10 @@ func NewPlane(g *graph.Graph) *Plane {
 	for i := range rowOf {
 		rowOf[i] = -1
 	}
-	return &Plane{g: g, rowOf: rowOf}
+	return &Plane{g: g, rowOf: rowOf, stamp: 1}
 }
 
-// Reset forgets the current cycle's sources, keeping row storage for reuse.
+// Reset forgets every staged source, keeping row storage for reuse.
 func (p *Plane) Reset() {
 	for _, s := range p.sources {
 		p.rowOf[s] = -1
@@ -60,10 +86,24 @@ func (p *Plane) Reset() {
 	p.sources = p.sources[:0]
 }
 
-// Stage registers src as a source of the current cycle, assigning it the next
-// row, and reports whether it was new (false = already staged, the
-// deduplication hit). Rows are assigned in first-staging order, which callers
-// keep deterministic by staging in a canonical order.
+// BeginBatch opens a new validation stamp: rows validated before this call
+// stop being served by Lookup until revalidated (Validate) or refilled.
+// Persistent drivers call it once per batch; one-shot consumers never need
+// it (Fill validates under the current stamp).
+func (p *Plane) BeginBatch() {
+	p.stamp++
+	if p.stamp == 0 { // wrapped: no row may claim validity by accident
+		for i := range p.valid {
+			p.valid[i] = 0
+		}
+		p.stamp = 1
+	}
+}
+
+// Stage registers src as a source, assigning it the next row, and reports
+// whether it was new (false = already staged, the deduplication hit). Rows
+// are assigned in first-staging order, which callers keep deterministic by
+// staging in a canonical order. New rows start invalid with FillEpoch -1.
 func (p *Plane) Stage(src graph.NodeID) bool {
 	if p.rowOf[src] >= 0 {
 		return false
@@ -73,20 +113,97 @@ func (p *Plane) Stage(src graph.NodeID) bool {
 		n := p.g.NumNodes()
 		p.dists = append(p.dists, make([]float64, n))
 		p.parents = append(p.parents, make([]graph.EdgeID, n))
+		p.fillEpoch = append(p.fillEpoch, -1)
+		p.dijkstraEpoch = append(p.dijkstraEpoch, -1)
+		p.valid = append(p.valid, 0)
+		p.refStamp = append(p.refStamp, 0)
 	}
 	p.rowOf[src] = int32(row)
 	p.sources = append(p.sources, src)
+	p.fillEpoch[row] = -1
+	p.dijkstraEpoch[row] = -1
+	p.valid[row] = 0
+	p.refStamp[row] = p.stamp
 	return true
 }
 
-// NumSources returns the number of staged sources in the current cycle.
+// Reference stages src if needed and reports its row plus whether this is
+// the first reference within the current batch stamp — the batch driver's
+// O(1) within-batch deduplication.
+func (p *Plane) Reference(src graph.NodeID) (row int, first bool) {
+	if p.rowOf[src] < 0 {
+		p.Stage(src)
+		return int(p.rowOf[src]), true
+	}
+	row = int(p.rowOf[src])
+	if p.refStamp[row] == p.stamp {
+		return row, false
+	}
+	p.refStamp[row] = p.stamp
+	return row, true
+}
+
+// Row returns src's row index, or -1 if not staged.
+func (p *Plane) Row(src graph.NodeID) int {
+	return int(p.rowOf[src])
+}
+
+// Source returns the source node of row.
+func (p *Plane) Source(row int) graph.NodeID { return p.sources[row] }
+
+// NumSources returns the number of staged sources.
 func (p *Plane) NumSources() int { return len(p.sources) }
 
-// FillRow computes row's SSSP arrays under d with sp's pooled heap. Distinct
-// rows may be filled concurrently (each touches only its own arrays); sp must
-// be private to the calling goroutine.
+// FillEpoch returns the ledger epoch row was filled at (-1 = never filled).
+func (p *Plane) FillEpoch(row int) graph.Epoch { return p.fillEpoch[row] }
+
+// SetFillEpoch records the ledger epoch row's content corresponds to. The
+// batch driver advances it both on refill and when a repair check proves the
+// content unchanged up to the current epoch.
+func (p *Plane) SetFillEpoch(row int, epoch graph.Epoch) { p.fillEpoch[row] = epoch }
+
+// DijkstraEpoch returns the ledger epoch of row's last actual computation
+// (-1 = never computed under the current ledger).
+func (p *Plane) DijkstraEpoch(row int) graph.Epoch { return p.dijkstraEpoch[row] }
+
+// SetDijkstraEpoch records that row's content was (re)computed at epoch.
+func (p *Plane) SetDijkstraEpoch(row int, epoch graph.Epoch) { p.dijkstraEpoch[row] = epoch }
+
+// Validate marks row as current for the present stamp without refilling it —
+// the repair fast path, only sound when the driver has proven the stored
+// content equals what a fresh fill would produce.
+func (p *Plane) Validate(row int) { p.valid[row] = p.stamp }
+
+// ParentRow returns row's stored parent-edge array (the SSSP tree rooted at
+// its source), for the driver's dirty-source intersection checks. The slice
+// is plane-owned and must not be mutated.
+func (p *Plane) ParentRow(row int) []graph.EdgeID { return p.parents[row] }
+
+// FillRow computes row's SSSP arrays under d with sp's pooled heap and marks
+// the row valid for the current stamp. Distinct rows may be filled
+// concurrently (each touches only its own arrays); sp must be private to the
+// calling goroutine. Validity stamps are written here (not content): each
+// row's stamp slot is row-private, so concurrent fills do not race.
 func (p *Plane) FillRow(row int, d graph.Lengths, sp *routing.DijkstraScratch) {
 	sp.ShortestPathsInto(p.g, p.sources[row], d, p.dists[row], p.parents[row])
+	p.valid[row] = p.stamp
+}
+
+// CopyRow copies src's row content from seed (which must have it staged and
+// filled) into row, marking it valid for the current stamp. It is the
+// prestep seeding path: an O(n) memcpy instead of an O((n+m)log n) Dijkstra,
+// sound exactly when the seed's rows were computed under bitwise-identical
+// lengths. seed is only read, so many planes may copy from one seed
+// concurrently.
+func (p *Plane) CopyRow(row int, seed *Plane, src graph.NodeID) bool {
+	srow := seed.rowOf[src]
+	if srow < 0 {
+		return false
+	}
+	copy(p.dists[row], seed.dists[srow])
+	copy(p.parents[row], seed.parents[srow])
+	p.valid[row] = p.stamp
+	return true
 }
 
 // Fill computes every staged row under d, fanning across at most workers
@@ -127,12 +244,13 @@ func (p *Plane) Fill(d graph.Lengths, workers int) {
 	wg.Wait()
 }
 
-// Lookup returns the filled SSSP row rooted at src, or ok=false when src was
-// not staged this cycle. The returned slices are plane-owned: valid until the
-// next Reset/Fill cycle and must not be mutated.
+// Lookup returns the SSSP row rooted at src, or ok=false when src is not
+// staged or its row has not been filled/validated under the current stamp
+// (so persistent-but-stale rows never serve a read). The returned slices are
+// plane-owned: valid until the row is next refilled and must not be mutated.
 func (p *Plane) Lookup(src graph.NodeID) (dist []float64, parent []graph.EdgeID, ok bool) {
 	row := p.rowOf[src]
-	if row < 0 {
+	if row < 0 || p.valid[row] != p.stamp {
 		return nil, nil, false
 	}
 	return p.dists[row], p.parents[row], true
@@ -140,18 +258,36 @@ func (p *Plane) Lookup(src graph.NodeID) (dist []float64, parent []graph.EdgeID,
 
 // Metrics aggregates shared-SSSP-plane counters over a consumer's lifetime
 // (a BatchRunner's rounds, a churn prefabrication pass). The interesting
-// ratio is PlaneRequests/PlaneSources — how many per-member SSSP reads each
-// computed Dijkstra row served; 1.0 means no cross-session sharing, Zipf-hot
-// scenarios reach well above 2.
+// ratios: PlaneRequests/PlaneSources (PlaneDedup) — how many per-member SSSP
+// reads each *computed* Dijkstra row served; and PlaneSkipped relative to
+// PlaneSkipped+PlaneSources — how often cross-round dirty-source repair
+// proved a stored row current and skipped the Dijkstra entirely.
 type Metrics struct {
 	// PlaneRounds counts batch rounds that staged at least one plane row.
 	PlaneRounds int
-	// PlaneSources counts SSSP rows actually computed (distinct sources,
-	// summed over rounds) — the misses.
+	// PlaneSources counts SSSP rows actually computed by Dijkstra (first
+	// fills plus repairs, summed over rounds) — the misses.
 	PlaneSources int
 	// PlaneRequests counts per-member SSSP reads served from the plane
 	// (every member of every plane-aware oracle evaluated in a round).
 	PlaneRequests int
+	// PlaneRepaired counts refills forced by the dirty-source check: a
+	// ledger-touched edge intersected the row's stored SSSP tree, so the row
+	// was recomputed. A subset of PlaneSources.
+	PlaneRepaired int
+	// PlaneSkipped counts refills avoided across rounds: the ledger proved
+	// no touched edge could alter the row, so the stored content was served
+	// as-is (no Dijkstra at all).
+	PlaneSkipped int
+	// PlaneSeeded counts rows copied from a prestep seed plane (shared
+	// cross-subproblem rows under the common initial lengths) instead of
+	// computed.
+	PlaneSeeded int
+	// PlaneTreeHits counts whole oracle evaluations served from the tree
+	// cache: every member row of the session was proven unchanged since the
+	// tree was assembled, so Prim and route extraction were skipped along
+	// with the Dijkstras.
+	PlaneTreeHits int
 }
 
 // PlaneDedup returns PlaneRequests/PlaneSources, the average number of oracle
@@ -163,13 +299,22 @@ func (m Metrics) PlaneDedup() float64 {
 	return float64(m.PlaneRequests) / float64(m.PlaneSources)
 }
 
-// PlaneHitRate returns the fraction of member reads that reused an
-// already-computed row: 1 - sources/requests (0 when the plane never fired).
+// PlaneHitRate returns the fraction of member reads that did not trigger a
+// Dijkstra: 1 - sources/requests (0 when the plane never fired).
 func (m Metrics) PlaneHitRate() float64 {
 	if m.PlaneRequests == 0 {
 		return 0
 	}
 	return 1 - float64(m.PlaneSources)/float64(m.PlaneRequests)
+}
+
+// RepairRate returns the fraction of cross-round row revalidations resolved
+// without a Dijkstra: skipped/(skipped+repaired) (0 when repair never ran).
+func (m Metrics) RepairRate() float64 {
+	if m.PlaneSkipped+m.PlaneRepaired == 0 {
+		return 0
+	}
+	return float64(m.PlaneSkipped) / float64(m.PlaneSkipped+m.PlaneRepaired)
 }
 
 // Merge adds o's counters into m (for folding per-subsolve metrics into an
@@ -178,4 +323,8 @@ func (m *Metrics) Merge(o Metrics) {
 	m.PlaneRounds += o.PlaneRounds
 	m.PlaneSources += o.PlaneSources
 	m.PlaneRequests += o.PlaneRequests
+	m.PlaneRepaired += o.PlaneRepaired
+	m.PlaneSkipped += o.PlaneSkipped
+	m.PlaneSeeded += o.PlaneSeeded
+	m.PlaneTreeHits += o.PlaneTreeHits
 }

@@ -65,7 +65,8 @@ func TestPlaneBatchMatchesDirectMinTree(t *testing.T) {
 			r := NewBatchRunnerOpts(g, oracles, BatchOptions{Workers: workers, SharedPlane: sharedPlane})
 			for round := 0; round < 3; round++ {
 				d := lengthsFor(g, round)
-				results := r.MinTreesLen(d, nil)
+				ls := graph.NewLengthStoreFrom(d)
+				results := r.MinTreesLen(ls, nil)
 				for i, res := range results {
 					if res.Err != nil {
 						t.Fatalf("plane=%v workers=%d oracle %d: %v", sharedPlane, workers, i, res.Err)
@@ -150,7 +151,8 @@ func TestPlaneMixedOracleBatch(t *testing.T) {
 	r := NewBatchRunnerOpts(g, mixed, BatchOptions{Workers: 2, SharedPlane: true})
 	defer r.Close()
 	d := lengthsFor(g, 2)
-	results := r.MinTrees(d, nil)
+	ls := graph.NewLengthStoreFrom(d)
+	results := r.MinTrees(ls, nil)
 	for i, res := range results {
 		if res.Err != nil {
 			t.Fatalf("oracle %d: %v", i, res.Err)
@@ -184,13 +186,14 @@ func TestPlaneMixedOracleBatch(t *testing.T) {
 func TestPlaneOracleAllocs(t *testing.T) {
 	g, oracles := arbBatchFixture(t, 6)
 	d := lengthsFor(g, 0)
+	ls := graph.NewLengthStoreFrom(d)
 	ids := []int{0, 1, 2, 3, 4, 5}
 	measure := func(sharedPlane bool) float64 {
 		r := NewBatchRunnerOpts(g, oracles, BatchOptions{Workers: 1, SharedPlane: sharedPlane})
 		defer r.Close()
-		r.MinTrees(d, ids) // warm up scratch + plane row growth
+		r.MinTrees(ls, ids) // warm up scratch + plane row growth
 		return testing.AllocsPerRun(50, func() {
-			res := r.MinTrees(d, ids)
+			res := r.MinTrees(ls, ids)
 			if res[0].Err != nil {
 				t.Fatal(res[0].Err)
 			}
@@ -216,10 +219,16 @@ func TestPlaneMetricsRatios(t *testing.T) {
 	if m.PlaneHitRate() != 0.75 {
 		t.Fatalf("hit rate %v, want 0.75", m.PlaneHitRate())
 	}
+	if (Metrics{}).RepairRate() != 0 {
+		t.Fatalf("zero metrics: repair rate %v", (Metrics{}).RepairRate())
+	}
+	if r := (Metrics{PlaneSkipped: 30, PlaneRepaired: 10}).RepairRate(); r != 0.75 {
+		t.Fatalf("repair rate %v, want 0.75", r)
+	}
 	var sum Metrics
 	sum.Merge(m)
-	sum.Merge(Metrics{PlaneRounds: 1, PlaneSources: 10, PlaneRequests: 10})
-	if sum != (Metrics{PlaneRounds: 3, PlaneSources: 60, PlaneRequests: 210}) {
+	sum.Merge(Metrics{PlaneRounds: 1, PlaneSources: 10, PlaneRequests: 10, PlaneSkipped: 4, PlaneRepaired: 3, PlaneSeeded: 2, PlaneTreeHits: 1})
+	if sum != (Metrics{PlaneRounds: 3, PlaneSources: 60, PlaneRequests: 210, PlaneSkipped: 4, PlaneRepaired: 3, PlaneSeeded: 2, PlaneTreeHits: 1}) {
 		t.Fatalf("merge produced %+v", sum)
 	}
 }
