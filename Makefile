@@ -9,7 +9,7 @@ BENCHFLAGS ?=
 # number alone doesn't say, e.g. "1-core container, worker sweeps collapse").
 BENCHNOTE ?=
 
-.PHONY: all build test race fmt fmt-check vet bench bench-smoke bench-scale bench-scale-json clean
+.PHONY: all build test race fmt fmt-check vet api-check api-write bench bench-smoke bench-scale bench-scale-json clean
 
 all: build test
 
@@ -31,6 +31,15 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Exported-surface gate: the root package's API inventory must match the
+# committed API_SURFACE.txt. Any surface change (including additions) fails
+# api-check until api-write refreshes the inventory in the same commit.
+api-check:
+	$(GO) run ./cmd/apisurface -check
+
+api-write:
+	$(GO) run ./cmd/apisurface -write
+
 # Full benchmark suite (paper tables/figures + scale tier).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -40,10 +49,11 @@ bench-smoke:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
 
 # Large-instance scale tier: solver benches (1,000-10,000 nodes, per-scenario
-# instances) plus the Waxman topology-generation benches. Takes minutes at
-# default -benchtime; CI passes BENCHFLAGS="-short -benchtime 1x".
+# instances), the Waxman topology-generation benches, and the Allocator v2
+# warm-start churn acceptance pair. Takes minutes at default -benchtime; CI
+# passes BENCHFLAGS="-short -benchtime 1x".
 bench-scale:
-	$(GO) test -run '^$$' -bench 'BenchmarkScale|BenchmarkWaxman' -benchmem -timeout 3600s $(BENCHFLAGS) . ./internal/topology/
+	$(GO) test -run '^$$' -bench 'BenchmarkScale|BenchmarkWaxman|BenchmarkChurnWarmStart' -benchmem -timeout 3600s $(BENCHFLAGS) . ./internal/topology/
 
 # Refresh the committed perf-trajectory baseline: run the scale tier the way
 # CI does, rewrite BENCH_scale.json, and print the old-vs-new comparison.

@@ -1,0 +1,354 @@
+package overcast_test
+
+// Tests for the v2 Allocator surface: session-handle contracts, the
+// SessionRate error contract on both API generations, OverlayTree
+// immutability, wrapper bit-identity, and the warm-start churn replay
+// (quality vs the cold baseline and determinism across worker counts).
+// The engine-level warm-start properties — catch-up/re-grow quality
+// cross-checked against the internal/exact LP, budget fallback, and
+// non-monotone (external shrink) fallback — are pinned by the
+// internal/core warm tests; these stay at the public-surface level.
+
+import (
+	"math"
+	"testing"
+
+	"overcast"
+	"overcast/internal/experiments"
+)
+
+func testAllocNet(t *testing.T, seed uint64) *overcast.Network {
+	t.Helper()
+	net, err := overcast.WaxmanNetwork(60, 100, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+var allocTestSessions = []overcast.Session{
+	{Members: []int{0, 11, 23, 37}, Demand: 100},
+	{Members: []int{4, 18, 42}, Demand: 100},
+	{Members: []int{7, 29, 51, 58}, Demand: 100},
+}
+
+func TestAllocatorHandleContract(t *testing.T) {
+	a, err := overcast.NewAllocator(testAllocNet(t, 3), overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var zero overcast.SessionID
+	if zero.Valid() {
+		t.Fatal("zero SessionID must be invalid")
+	}
+	if err := a.Leave(zero); err == nil {
+		t.Fatal("Leave(zero handle) must fail")
+	}
+	if _, err := a.SessionRate(zero); err == nil {
+		t.Fatal("SessionRate(zero handle) must fail")
+	}
+
+	var ids []overcast.SessionID
+	epochs := []uint64{a.Epoch()}
+	for _, s := range allocTestSessions {
+		p, err := a.Join(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Session.Valid() {
+			t.Fatalf("Join returned invalid handle %v", p.Session)
+		}
+		if p.Epoch <= epochs[len(epochs)-1] {
+			t.Fatalf("Join epoch %d did not advance past %d", p.Epoch, epochs[len(epochs)-1])
+		}
+		if p.Rate <= 0 || len(p.Tree.Pairs()) == 0 || len(p.Trees) != 1 {
+			t.Fatalf("Join placement malformed: rate=%v pairs=%d trees=%d", p.Rate, len(p.Tree.Pairs()), len(p.Trees))
+		}
+		epochs = append(epochs, p.Epoch)
+		ids = append(ids, p.Session)
+	}
+	if a.Admitted() != 3 || a.Active() != 3 {
+		t.Fatalf("admitted=%d active=%d, want 3/3", a.Admitted(), a.Active())
+	}
+
+	// A handle from a different allocator with more arrivals must be
+	// rejected, not silently resolved to some other session.
+	b, err := overcast.NewAllocator(testAllocNet(t, 3), overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Join(allocTestSessions[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Leave(ids[2]); err == nil {
+		t.Fatal("Leave(foreign handle beyond arrivals) must fail")
+	}
+
+	if !a.IsActive(ids[1]) {
+		t.Fatal("admitted session reported inactive")
+	}
+	if err := a.Leave(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if a.IsActive(ids[1]) {
+		t.Fatal("departed session reported active")
+	}
+	if a.Active() != 2 || a.Admitted() != 3 {
+		t.Fatalf("after leave: admitted=%d active=%d, want 3/2", a.Admitted(), a.Active())
+	}
+	// Handles are never reused: the departed handle keeps failing cleanly.
+	if err := a.Leave(ids[1]); err == nil {
+		t.Fatal("double Leave must fail")
+	}
+	p, err := a.Join(allocTestSessions[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Session == ids[1] {
+		t.Fatal("handle was reused for a later arrival")
+	}
+	if err := a.Leave(ids[1]); err == nil {
+		t.Fatal("departed handle must keep failing after a new arrival")
+	}
+
+	a.Close() // idempotent
+	if _, err := a.Join(allocTestSessions[0]); err == nil {
+		t.Fatal("Join after Close must fail")
+	}
+	if _, err := a.Snapshot(); err == nil {
+		t.Fatal("Snapshot after Close must fail")
+	}
+}
+
+func TestSessionRateErrorContractBothSurfaces(t *testing.T) {
+	net := testAllocNet(t, 5)
+
+	// v2 surface: departed handles are errors, not garbage.
+	a, err := overcast.NewAllocator(net, overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	p0, err := a.Join(allocTestSessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.Join(allocTestSessions[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := a.SessionRate(p0.Session); err != nil || r <= 0 {
+		t.Fatalf("active SessionRate = %v, %v", r, err)
+	}
+	if err := a.Leave(p0.Session); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SessionRate(p0.Session); err == nil {
+		t.Fatal("SessionRate on departed session must fail")
+	}
+	if r, err := a.SessionRate(p1.Session); err != nil || r <= 0 {
+		t.Fatalf("surviving SessionRate = %v, %v", r, err)
+	}
+
+	// Deprecated index surface: same contract through arrival indices.
+	on, err := overcast.NewOnlineAllocator(net, 30, overcast.RoutingIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range allocTestSessions[:2] {
+		if _, err := on.Join(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := on.SessionRate(2); err == nil {
+		t.Fatal("out-of-range SessionRate must fail")
+	}
+	if _, err := on.SessionRate(-1); err == nil {
+		t.Fatal("negative SessionRate index must fail")
+	}
+	if err := on.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := on.SessionRate(0); err == nil {
+		t.Fatal("wrapper SessionRate on departed session must fail")
+	}
+	if r, err := on.SessionRate(1); err != nil || r <= 0 {
+		t.Fatalf("wrapper surviving SessionRate = %v, %v", r, err)
+	}
+	if err := on.Leave(5); err == nil {
+		t.Fatal("out-of-range Leave must fail")
+	}
+}
+
+// TestOnlineAllocatorWrapperBitIdentical pins the deprecation contract: the
+// v1 wrapper is a veneer over Allocator, so driving both with the same
+// arrivals on the same network must produce bit-identical rates, congestion,
+// and finalized allocations.
+func TestOnlineAllocatorWrapperBitIdentical(t *testing.T) {
+	net := testAllocNet(t, 7)
+	a, err := overcast.NewAllocator(net, overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	on, err := overcast.NewOnlineAllocator(net, 30, overcast.RoutingIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []overcast.SessionID
+	for i, s := range allocTestSessions {
+		p, err := a.Join(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, p.Session)
+		if _, err := on.Join(s); err != nil {
+			t.Fatal(err)
+		}
+		vr, err := a.SessionRate(p.Session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := on.SessionRate(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vr != wr {
+			t.Fatalf("session %d rate: v2 %.17g != wrapper %.17g", i, vr, wr)
+		}
+	}
+	if a.MaxCongestion() != on.MaxCongestion() {
+		t.Fatalf("max congestion: v2 %.17g != wrapper %.17g", a.MaxCongestion(), on.MaxCongestion())
+	}
+	va, err := a.OnlineAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := on.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range allocTestSessions {
+		if va.SessionRate(i) != wa.SessionRate(i) {
+			t.Fatalf("finalized rate %d: v2 %.17g != wrapper %.17g", i, va.SessionRate(i), wa.SessionRate(i))
+		}
+	}
+	if err := a.Leave(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxCongestion() != on.MaxCongestion() {
+		t.Fatalf("post-leave congestion: v2 %.17g != wrapper %.17g", a.MaxCongestion(), on.MaxCongestion())
+	}
+}
+
+// TestOverlayTreeStaysIntact pins the OverlayTree aliasing contract's
+// guarantee side: a placement's trees are private copies, so they stay
+// bitwise intact through any amount of later allocator activity.
+func TestOverlayTreeStaysIntact(t *testing.T) {
+	a, err := overcast.NewAllocator(testAllocNet(t, 9), overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	p, err := a.Join(allocTestSessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := append([][2]int(nil), p.Tree.Pairs()...)
+	members := append([]int(nil), p.Tree.Members()...)
+	rate, hops := p.Tree.Rate(), p.Tree.PhysicalHops()
+
+	for _, s := range allocTestSessions[1:] {
+		if _, err := a.Join(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+
+	if p.Tree.Rate() != rate || p.Tree.PhysicalHops() != hops {
+		t.Fatal("OverlayTree scalars changed after later allocator activity")
+	}
+	got := p.Tree.Pairs()
+	if len(got) != len(pairs) {
+		t.Fatal("OverlayTree pairs changed length")
+	}
+	for i := range pairs {
+		if got[i] != pairs[i] {
+			t.Fatalf("OverlayTree pair %d changed: %v != %v", i, got[i], pairs[i])
+		}
+	}
+	gotM := p.Tree.Members()
+	for i := range members {
+		if gotM[i] != members[i] {
+			t.Fatalf("OverlayTree member %d changed", i)
+		}
+	}
+}
+
+// TestWarmChurnReplayQualityAndDeterminism replays a small churn trace
+// through the v2 Allocator and pins the two tentpole properties at the
+// public surface: every warm snapshot's throughput stays within the FPTAS
+// band of the cold baseline's for the same trace position (mean ratio >=
+// 1/(1+eps) with measurement slack), and the whole warm replay — every
+// snapshot throughput and the warm/cold refresh split — is bit-identical
+// across worker counts 1, 2, and 8.
+func TestWarmChurnReplayQualityAndDeterminism(t *testing.T) {
+	cfg := experiments.WarmChurnConfig{Nodes: 60, Horizon: 12}
+	warm, cold, err := experiments.WarmChurnPair(2004, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmRefreshes == 0 {
+		t.Fatal("warm replay never took the warm path")
+	}
+	if cold.WarmRefreshes != 0 {
+		t.Fatal("cold baseline took the warm path")
+	}
+	if warm.Snapshots != cold.Snapshots {
+		t.Fatalf("snapshot counts diverged: warm %d cold %d", warm.Snapshots, cold.Snapshots)
+	}
+	q := experiments.WarmQuality(warm, cold)
+	eps := warm.Config.Epsilon
+	if band := 1 / (1 + eps); q < band-0.02 {
+		t.Fatalf("mean warm/cold snapshot quality %.4f below FPTAS band %.4f", q, band)
+	}
+	for i, wt := range warm.Throughputs {
+		if math.IsNaN(wt) || wt <= 0 {
+			t.Fatalf("warm snapshot %d throughput %v", i, wt)
+		}
+	}
+
+	base := warm
+	for _, workers := range []int{2, 8} {
+		wcfg := cfg
+		wcfg.Workers = workers
+		rep, err := experiments.WarmChurnRun(2004, wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.WarmRefreshes != base.WarmRefreshes || rep.ColdSolves != base.ColdSolves ||
+			rep.RepairPhases != base.RepairPhases || rep.MSTOps != base.MSTOps {
+			t.Fatalf("workers=%d refresh split diverged: %+v vs %+v", workers, rep, base)
+		}
+		if len(rep.Throughputs) != len(base.Throughputs) {
+			t.Fatalf("workers=%d snapshot count diverged", workers)
+		}
+		for i := range base.Throughputs {
+			if rep.Throughputs[i] != base.Throughputs[i] {
+				t.Fatalf("workers=%d snapshot %d: %.17g != %.17g",
+					workers, i, rep.Throughputs[i], base.Throughputs[i])
+			}
+		}
+	}
+}

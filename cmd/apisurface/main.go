@@ -1,0 +1,236 @@
+// Command apisurface prints the exported API surface of the root overcast
+// package as one sorted line per declaration — every exported func, method,
+// type, struct field, interface method, const, and var, with full signatures
+// rendered by go/printer. The output is a pure function of the source, so a
+// committed copy (API_SURFACE.txt) turns into an API-compatibility gate:
+//
+//	apisurface            # print the current surface
+//	apisurface -write     # rewrite API_SURFACE.txt from the current tree
+//	apisurface -check     # diff current surface vs API_SURFACE.txt; exit 1
+//	                      # and print the +/- lines on any drift
+//
+// CI runs -check so an exported-surface change (rename, signature change,
+// removal) fails the build unless API_SURFACE.txt is updated in the same
+// commit — the lightweight apidiff equivalent for a repo that must not grow
+// dependencies. Additive changes also fail; that is deliberate: the gate's
+// job is to make every surface change show up in review as a one-line diff
+// of the committed inventory, not to judge compatibility classes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to inventory")
+	file := flag.String("file", "API_SURFACE.txt", "committed surface inventory")
+	write := flag.Bool("write", false, "rewrite the inventory from the current tree")
+	check := flag.Bool("check", false, "fail when the current surface differs from the inventory")
+	flag.Parse()
+
+	lines, err := surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisurface:", err)
+		os.Exit(2)
+	}
+	cur := strings.Join(lines, "\n") + "\n"
+
+	switch {
+	case *write:
+		if err := os.WriteFile(*file, []byte(cur), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apisurface:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apisurface: wrote %d declarations to %s\n", len(lines), *file)
+	case *check:
+		want, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apisurface:", err)
+			os.Exit(2)
+		}
+		if diff := diffLines(strings.Split(strings.TrimRight(string(want), "\n"), "\n"), lines); len(diff) > 0 {
+			fmt.Fprintf(os.Stderr, "apisurface: exported surface drifted from %s (run `go run ./cmd/apisurface -write` and commit the diff):\n", *file)
+			for _, d := range diff {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("apisurface: %d declarations match %s\n", len(lines), *file)
+	default:
+		fmt.Print(cur)
+	}
+}
+
+// surface parses the package in dir (tests excluded) and returns its sorted
+// exported declaration lines.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			// Methods on unexported receivers are not surface.
+			if !ast.IsExported(receiverTypeName(d.Recv)) {
+				return nil
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", render(fset, d.Recv.List[0].Type), d.Name.Name, signature(fset, d.Type))}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, signature(fset, d.Type))}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				out = append(out, typeLines(fset, s)...)
+			case *ast.ValueSpec:
+				kw := "const"
+				if d.Tok == token.VAR {
+					kw = "var"
+				}
+				for _, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					line := kw + " " + name.Name
+					if s.Type != nil {
+						line += " " + render(fset, s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	if !s.Name.IsExported() {
+		return nil
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + s.Name.Name + " struct"}
+		for _, field := range t.Fields.List {
+			ft := render(fset, field.Type)
+			if len(field.Names) == 0 { // embedded
+				if ast.IsExported(strings.TrimPrefix(ft, "*")) {
+					out = append(out, fmt.Sprintf("field %s.%s (embedded)", s.Name.Name, ft))
+				}
+				continue
+			}
+			for _, name := range field.Names {
+				if name.IsExported() {
+					out = append(out, fmt.Sprintf("field %s.%s %s", s.Name.Name, name.Name, ft))
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + s.Name.Name + " interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				out = append(out, fmt.Sprintf("ifacemethod %s: embeds %s", s.Name.Name, render(fset, m.Type)))
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					out = append(out, fmt.Sprintf("ifacemethod %s.%s%s", s.Name.Name, name.Name, signature(fset, m.Type.(*ast.FuncType))))
+				}
+			}
+		}
+		return out
+	default:
+		eq := " "
+		if s.Assign.IsValid() {
+			eq = " = "
+		}
+		return []string{"type " + s.Name.Name + eq + render(fset, s.Type)}
+	}
+}
+
+func receiverTypeName(recv *ast.FieldList) string {
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// signature renders a FuncType as "(params) (results)" without the "func"
+// keyword go/printer would emit.
+func signature(fset *token.FileSet, ft *ast.FuncType) string {
+	return strings.TrimPrefix(render(fset, ft), "func")
+}
+
+func render(fset *token.FileSet, node ast.Node) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, node); err != nil {
+		return fmt.Sprintf("<!%v>", err)
+	}
+	// Surface lines must be one line each; multi-line literals (anonymous
+	// structs etc.) collapse to single-space separated tokens.
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// diffLines returns set-style +/- lines between two sorted slices.
+func diffLines(want, got []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(want) || j < len(got) {
+		switch {
+		case i >= len(want):
+			out = append(out, "+ "+got[j])
+			j++
+		case j >= len(got):
+			out = append(out, "- "+want[i])
+			i++
+		case want[i] == got[j]:
+			i, j = i+1, j+1
+		case want[i] < got[j]:
+			out = append(out, "- "+want[i])
+			i++
+		default:
+			out = append(out, "+ "+got[j])
+			j++
+		}
+	}
+	return out
+}

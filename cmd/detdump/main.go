@@ -12,14 +12,17 @@
 // The fingerprint covers the paper's Setting-A instances under both routing
 // modes, grid-Waxman workload-scenario instances (heterogeneous
 // capacities/demands, Zipf membership), a scenario-driven online/churn
-// replay, and a Zipf-hot arbitrary-routing instance where the plane serves
-// most per-member Dijkstra reads.
+// replay, a Zipf-hot arbitrary-routing instance where the plane serves
+// most per-member Dijkstra reads, and the v2 Allocator's warm-start churn
+// path (anchor / warm-join / warm-leave snapshots, a rebalance, the
+// deprecated v1 wrapper, and an end-to-end churn replay).
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"overcast"
 	"overcast/internal/core"
 	"overcast/internal/experiments"
 )
@@ -162,4 +165,99 @@ func main() {
 		fmt.Printf("report %s %s %s edges=%d thpt=%.17g minratio=%.17g meanutil=%.17g fairness=%.17g\n",
 			row.Scenario, row.Tier, row.Solver, row.Edges, row.Throughput, row.MinRatio, row.MeanUtil, row.Fairness)
 	}
+
+	// Warm-start churn path (Allocator v2): the warm repair phases run on the
+	// same BatchRunner machinery as the cold solves, so every snapshot —
+	// anchor, warm-join catch-up, warm-leave re-grow — must be bit-identical
+	// across worker counts and plane/repair toggles, and the warm/cold
+	// refresh split itself must be deterministic.
+	warmNet, err := overcast.WaxmanNetwork(60, 100, 41)
+	if err != nil {
+		panic(err)
+	}
+	wa, err := overcast.NewAllocator(warmNet, overcast.AllocatorOptions{
+		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer wa.Close()
+	warmSessions := []overcast.Session{
+		{Members: []int{0, 11, 23, 37}, Demand: 100},
+		{Members: []int{4, 18, 42}, Demand: 100},
+		{Members: []int{7, 29, 51, 58}, Demand: 100},
+		{Members: []int{2, 33, 49}, Demand: 100},
+	}
+	var warmIDs []overcast.SessionID
+	for _, s := range warmSessions[:3] {
+		p, err := wa.Join(s)
+		if err != nil {
+			panic(err)
+		}
+		warmIDs = append(warmIDs, p.Session)
+	}
+	dumpWarm := func(stage string) {
+		snap, err := wa.Snapshot()
+		if err != nil {
+			panic(err)
+		}
+		st := wa.Stats()
+		fmt.Printf("warmchurn %s active=%d cold=%d warm=%d repair=%d\n",
+			stage, wa.Active(), st.ColdSolves, st.WarmRefreshes, st.RepairPhases)
+		for i := 0; i < wa.Active(); i++ {
+			fmt.Printf("  rate[%d]=%.17g trees=%d\n", i, snap.SessionRate(i), snap.TreeCount(i))
+		}
+	}
+	dumpWarm("anchor")
+	p, err := wa.Join(warmSessions[3])
+	if err != nil {
+		panic(err)
+	}
+	warmIDs = append(warmIDs, p.Session)
+	dumpWarm("join")
+	if err := wa.Leave(warmIDs[1]); err != nil {
+		panic(err)
+	}
+	dumpWarm("leave")
+	placements, err := wa.Rebalance()
+	if err != nil {
+		panic(err)
+	}
+	for _, pl := range placements {
+		fmt.Printf("warmchurn placement %v rate=%.17g trees=%d\n", pl.Session, pl.Rate, len(pl.Trees))
+	}
+
+	// The deprecated v1 wrapper must stay bit-identical to driving the v2
+	// surface directly (same seed, same joins).
+	on, err := overcast.NewOnlineAllocator(warmNet, 30, overcast.RoutingIP)
+	if err != nil {
+		panic(err)
+	}
+	for i, s := range warmSessions[:3] {
+		if _, err := on.Join(s); err != nil {
+			panic(err)
+		}
+		rate, err := on.SessionRate(i)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrapper rate[%d]=%.17g\n", i, rate)
+	}
+	fin, err := on.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrapper maxcong=%.17g thpt=%.17g\n", on.MaxCongestion(), fin.OverallThroughput())
+
+	// End-to-end warm churn replay fingerprint (counters and final
+	// allocation only — the per-event trace is huge).
+	wrep, err := experiments.WarmChurnRun(2030, experiments.WarmChurnConfig{
+		Nodes: 80, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("warmchurn replay sessions=%d peak=%d snaps=%d warm=%d cold=%d repair=%d mstops=%d active=%d thpt=%.17g minrate=%.17g\n",
+		wrep.Sessions, wrep.PeakConcurrency, wrep.Snapshots, wrep.WarmRefreshes, wrep.ColdSolves,
+		wrep.RepairPhases, wrep.MSTOps, wrep.FinalActive, wrep.Throughput, wrep.MinRate)
 }

@@ -9,7 +9,8 @@
 //
 // where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
 // table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// fig15, fig16, fig17, fig18, fig19, scale, churn, report, or "all". With no
+// fig15, fig16, fig17, fig18, fig19, scale, churn, warmchurn, report, or
+// "all". With no
 // arguments the Setting-A experiments (table2..fig11) run; with -scale
 // large the scale tier runs.
 //
@@ -37,6 +38,14 @@
 //
 //	experiments -scenario cdn churn
 //	experiments -nodes 2000 -workers 8 churn
+//
+// The warmchurn experiment replays an arrival/departure trace through the
+// v2 Allocator with a periodic Snapshot cadence, once warm-started and once
+// with every refresh forced cold, and prints the steady-state fair
+// allocations/sec both sustain plus the warm-start speedup:
+//
+//	experiments warmchurn
+//	experiments -nodes 400 -workers 8 warmchurn
 //
 // -scale small (default) runs reduced instances in seconds; -scale paper
 // reproduces the paper's instance sizes (100-node Waxman, 10x100 two-level
@@ -109,7 +118,7 @@ func main() {
 		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
 			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-			"scale", "churn", "report"}
+			"scale", "churn", "warmchurn", "report"}
 	}
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
@@ -493,6 +502,33 @@ func (r *runner) run(exp string) error {
 		}
 		fmt.Println("Report tier: MF vs MCF per workload scenario (which allocation wins where)")
 		fmt.Print(experiments.RenderReport(rows))
+	case "warmchurn":
+		nodes := r.nodes
+		if nodes == 0 {
+			nodes = 120
+			if r.scale == "paper" || r.scale == "large" {
+				nodes = 600
+			}
+		}
+		cfg := experiments.WarmChurnConfig{
+			Nodes: nodes, Workers: r.workers,
+			DisablePlane: r.disablePlane, DisableRepair: r.disableRepair,
+		}
+		warm, cold, err := experiments.WarmChurnPair(r.seed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Warm-churn tier: Allocator v2 steady-state fair allocations under churn (warm-start vs cold re-solve)")
+		fmt.Println(warm.String())
+		fmt.Println(cold.String())
+		if cold.AllocationsPerSec > 0 {
+			fmt.Printf("warm-start steady-state speedup: %.2fx allocations/sec\n",
+				warm.AllocationsPerSec/cold.AllocationsPerSec)
+		}
+		if q := experiments.WarmQuality(warm, cold); q > 0 {
+			fmt.Printf("warm-start mean snapshot quality: %.4f of cold throughput (FPTAS band >= %.4f)\n",
+				q, 1/(1+warm.Config.Epsilon))
+		}
 	case "churn":
 		var names []string
 		if r.scenario != "" {

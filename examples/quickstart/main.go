@@ -68,4 +68,24 @@ func main() {
 	}
 	fmt.Printf("simulated delivery: %.2f of %.2f offered (peak link utilization %.2f)\n",
 		rep.OverallDelivered, alloc.OverallThroughput(), rep.PeakLinkUtilization)
+
+	// When membership churns, the v2 Allocator admits and removes sessions
+	// by opaque handle and re-solves the fair allocation incrementally
+	// (see examples/churn for the full warm-start workflow).
+	a, err := overcast.NewAllocator(net, overcast.AllocatorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	p, err := a.Join(overcast.Session{Members: []int{3, 17, 29, 41}, Demand: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online join: %v placed at rate %.2f on a %d-edge tree\n",
+		p.Session, p.Rate, len(p.Tree.Pairs()))
+	snap, err := a.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fair allocation after join: throughput %.2f\n", snap.OverallThroughput())
 }

@@ -44,6 +44,35 @@ type MaxConcurrentFlowOptions struct {
 	SurplusEpsilon float64
 	// MaxPhases overrides the phase safety bound (0 = automatic).
 	MaxPhases int
+
+	// capture, when non-nil, receives the solve's internal state at the
+	// moment the phase loop stops (before the feasibility rescale): the live
+	// length ledger, the epoch-0 base lengths, the pre-scale per-session
+	// flows, the per-session multiplicative bump attribution, the final
+	// scaled demands, the dual objective D, and the phase count. It is the
+	// seed a Warm allocator resumes from; package-internal because the
+	// captured ledger aliases live solver state. Incompatible with
+	// SurplusPass (the surplus flows have no bump attribution).
+	capture *warmCapture
+}
+
+// warmBump is one multiplicative length update a session applied during the
+// phase loop, recorded so a warm allocator can roll it back exactly on Leave.
+type warmBump struct {
+	edge   graph.EdgeID
+	factor float64
+}
+
+// warmCapture receives a MaxConcurrentFlow run's internal state; see
+// MaxConcurrentFlowOptions.capture.
+type warmCapture struct {
+	ledger *graph.LengthStore
+	base   graph.Lengths // epoch-0 lengths delta/c_e
+	raw    [][]TreeFlow  // pre-scale flows (Tree pointers shared with the Solution)
+	bumps  [][]warmBump  // per session, in application order
+	dem    []float64     // final scaled per-phase demands
+	bigD   float64       // dual objective at stop
+	phases int
 }
 
 // MCFRatioToEpsilon converts a target approximation ratio (e.g. 0.95) to the
@@ -101,6 +130,9 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	if eps <= 0 || eps > 0.5 {
 		return nil, fmt.Errorf("core: MaxConcurrentFlow epsilon %v outside (0, 0.5]", eps)
 	}
+	if opts.capture != nil && opts.SurplusPass {
+		return nil, fmt.Errorf("core: MaxConcurrentFlow capture is incompatible with the surplus pass")
+	}
 	k := p.K()
 	workers := resolveWorkers(opts.Parallel, opts.Workers)
 
@@ -140,6 +172,10 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	// The ledger wraps the initial assignment as its epoch-0 contents, so
 	// every phase-loop inflation below is journaled as a monotone growth and
 	// the plane's cross-round repair can skip untouched sources.
+	if opts.capture != nil {
+		opts.capture.base = append(graph.Lengths(nil), vals...)
+		opts.capture.bumps = make([][]warmBump, k)
+	}
 	d := graph.NewLengthStoreFrom(vals)
 
 	acc := newFlowAccumulator(p)
@@ -221,6 +257,9 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 					grow := 1 + eps*float64(use.Count)*c/ce
 					bigD += ce * d.At(use.Edge) * (grow - 1)
 					d.Bump(use.Edge, grow)
+					if opts.capture != nil {
+						opts.capture.bumps[i] = append(opts.capture.bumps[i], warmBump{edge: use.Edge, factor: grow})
+					}
 				}
 				if rem[i] > 1e-15 {
 					next = append(next, i)
@@ -240,6 +279,15 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	// toward 1 and hide the cross-session sharing the metric exists to
 	// surface. They are reported separately on MCFResult.PrestepPlane.
 	sol.Plane = runner.Metrics()
+	if c := opts.capture; c != nil {
+		// Pre-scale flows: the warm allocator accumulates further raw flow at
+		// this level and rescales to exact feasibility itself on Snapshot.
+		c.raw = make([][]TreeFlow, k)
+		for i, fs := range sol.Flows {
+			c.raw[i] = append([]TreeFlow(nil), fs...)
+		}
+		c.ledger, c.dem, c.bigD, c.phases = d, dem, bigD, phases
+	}
 	// Exact feasibility scaling, uniform across sessions (preserves the
 	// fairness ratios); upper-bounded by the Lemma 4 factor
 	// log_{1+eps}(1/delta).

@@ -1,0 +1,646 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+)
+
+// This file implements the warm-start incremental re-solve under churn. A
+// Warm allocator maintains an ε-feasible MaxConcurrentFlow allocation across
+// a stream of session joins and leaves without re-running the FPTAS from
+// cold on every event. The mechanism reuses the Garg–Könemann invariant that
+// the phase loop already maintains:
+//
+//   - A cold anchor solve runs MaxConcurrentFlow once and captures, instead
+//     of discarding, its terminal internal state: the length ledger d, the
+//     pre-scale per-session raw flows, the per-session multiplicative bump
+//     attribution, the final scaled demands, and the dual objective
+//     D = Σ_e c_e·d_e (the loop stops exactly when D ≥ 1).
+//   - A Join routes only the newcomer's fair share — demand_k times the
+//     anchored raw-rate-per-demand ratio — under the live lengths, in
+//     anchor-phase-sized chunks through the same BatchRunner (so the shared
+//     SSSP plane and its dirty-source repair absorb most of the Dijkstra
+//     work), applying the standard (1+ε·n_e·c/c_e) inflations.
+//   - A Leave rolls the departed session's length inflation back exactly —
+//     affected edges are Set to the anchor base and every surviving
+//     session's recorded bumps are replayed in slot order — and decrements D
+//     accordingly. The rollback typically drops D below 1, so the allocation
+//     no longer satisfies the stop criterion; the next Refresh routes full
+//     phases for all active sessions until D ≥ 1 again, which is precisely
+//     the work a cold solve would have spent re-packing the freed capacity.
+//   - Snapshot densifies the active slots and rescales the raw flows by
+//     1/maxCongestion — the identical final step of the cold solve — so a
+//     snapshot taken right after the anchor is bit-identical to the cold
+//     solution, and later snapshots stay exactly feasible by construction.
+//
+// Falling back to cold is always sound (the warm state is simply discarded
+// and re-anchored) and happens when the per-refresh repair budget is
+// exhausted, when the ledger reports a shrink the allocator did not perform
+// itself (LengthStore.MonotoneSince — external mutation invalidates the bump
+// attribution), or when every anchored session has departed (the fair-share
+// ratio is gone). Additionally, once the repair work accumulated since the
+// anchor exceeds what a cold solve would cost (≈ phases·k session-phases),
+// the next refresh re-anchors voluntarily: each warm refresh perturbs the
+// anchor's primal/dual balance by its churned demand share, and re-anchoring
+// on this amortized schedule bounds both the compounded drift (the ε-quality
+// of snapshots between anchors) and the total work at a constant factor of
+// the cold baseline's — while refreshes stay ~k/(churned sessions) times
+// cheaper than re-solving.
+
+// WarmOptions configures a Warm allocator.
+type WarmOptions struct {
+	// Epsilon is the FPTAS error parameter, in (0, 0.5].
+	Epsilon float64
+	// Workers sets the oracle worker-pool size (0 = GOMAXPROCS). Outputs are
+	// bit-identical for every worker count.
+	Workers int
+	// DisablePlane / DisableRepair forward to the anchor solves and the warm
+	// repair runner; see MaxConcurrentFlowOptions. Bit-identical either way.
+	DisablePlane  bool
+	DisableRepair bool
+	// RepairPhaseBudget bounds the warm repair work per Refresh, counted in
+	// session-phases (one session's demand routed through one phase). 0
+	// means unbounded — a warm refresh always completes; positive values cap
+	// it, falling back to a cold solve when exceeded; negative values
+	// disable the warm path entirely (every Refresh is a cold solve — the
+	// baseline the warm speedup is measured against).
+	RepairPhaseBudget int
+}
+
+// WarmStats counts a Warm allocator's work.
+type WarmStats struct {
+	Joins, Leaves int
+	// ColdSolves counts full MaxConcurrentFlow anchor solves (the first
+	// Refresh is always one).
+	ColdSolves int
+	// WarmRefreshes counts Refresh calls served by incremental repair.
+	WarmRefreshes int
+	// RepairPhases counts session-phases routed by warm repair.
+	RepairPhases int
+	// MSTOps counts spanning-tree computations across anchors and repair.
+	MSTOps int
+	// Plane aggregates the shared-SSSP-plane counters across the anchors'
+	// phase loops and the warm repair runner.
+	Plane overlay.Metrics
+}
+
+// errWarmFallback signals that the warm path cannot (or may not) complete
+// this refresh and the caller should re-anchor cold.
+var errWarmFallback = errors.New("core: warm repair fell back to cold")
+
+// Warm maintains an ε-feasible concurrent-flow allocation under churn.
+// Sessions are identified by their arrival slot (0-based, never reused).
+// Mutations (Join/Leave) are cheap bookkeeping plus exact length-ledger
+// updates; Refresh/Snapshot bring the allocation back to the Garg–Könemann
+// stop criterion incrementally. Not safe for concurrent use.
+type Warm struct {
+	g            *graph.Graph
+	mode         RoutingMode
+	routeWeights graph.Lengths
+	opts         WarmOptions
+	eps          float64
+
+	sessions []*overlay.Session
+	oracles  []overlay.TreeOracle
+	active   []bool
+	nActive  int
+
+	runner *overlay.BatchRunner // lazily created; oracle id == slot
+
+	// Anchored state (d == nil until the first cold solve).
+	d        *graph.LengthStore
+	base     graph.Lengths // anchor epoch-0 lengths delta/c_e
+	raw      [][]TreeFlow  // per slot: pre-scale flows
+	rawIndex []map[uint64]int
+	bumps    [][]warmBump // per slot: length updates, in application order
+	dem      []float64    // per slot: scaled per-phase demand
+	demScale float64      // dem_i / demand_i at the anchor (uniform)
+	bigD     float64      // dual objective D = Σ_e c_e·d_e
+	phases   int          // anchor phase count (catch-up chunk granularity)
+	shrinkOK graph.Epoch  // ledger epoch of the last self-inflicted shrink
+
+	pendingJoins []int // slots joined since the last refresh, ascending
+	// pendingLeaveDem accumulates the demand of sessions rolled back since
+	// the last refresh: survivors owe rebalance phases in proportion, so the
+	// capacity a departure frees is actually re-packed (see warmRepair).
+	pendingLeaveDem float64
+	dirty           bool // allocation state changed since the last refresh
+	forceCold       bool // external ledger drift detected; next refresh re-anchors
+	repairSpent     int  // session-phases of warm repair since the anchor (drift proxy)
+
+	stats WarmStats
+
+	// Reused scratch.
+	rem          []float64
+	pending      []int
+	affected     []bool
+	affectedList []graph.EdgeID
+}
+
+// NewWarm creates a warm allocator over g. Mode and routeWeights fix how
+// cold-anchor oracles are built; joined sessions bring their own oracles
+// (which must use the same routing discipline).
+func NewWarm(g *graph.Graph, mode RoutingMode, routeWeights graph.Lengths, opts WarmOptions) (*Warm, error) {
+	if g == nil || g.NumEdges() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if opts.Epsilon <= 0 || opts.Epsilon > 0.5 {
+		return nil, fmt.Errorf("core: warm allocator epsilon %v outside (0, 0.5]", opts.Epsilon)
+	}
+	return &Warm{g: g, mode: mode, routeWeights: routeWeights, opts: opts, eps: opts.Epsilon}, nil
+}
+
+// Join admits a session under the next arrival slot. s.ID must equal the
+// slot (NumSlots() before the call); the oracle must be built over s. The
+// allocation is not repaired here — Refresh or Snapshot folds the newcomer
+// in (warm when anchored, as part of the first cold solve otherwise).
+func (w *Warm) Join(s *overlay.Session, oracle overlay.TreeOracle) error {
+	if s == nil || oracle == nil {
+		return fmt.Errorf("core: warm join: nil session or oracle")
+	}
+	if s.ID != len(w.sessions) {
+		return fmt.Errorf("core: warm join: session ID %d, want next slot %d", s.ID, len(w.sessions))
+	}
+	w.sessions = append(w.sessions, s)
+	w.oracles = append(w.oracles, oracle)
+	w.active = append(w.active, true)
+	w.nActive++
+	if w.runner != nil {
+		w.runner.AddOracle(oracle)
+	}
+	if w.d != nil {
+		w.raw = append(w.raw, nil)
+		w.rawIndex = append(w.rawIndex, nil)
+		w.bumps = append(w.bumps, nil)
+		w.dem = append(w.dem, 0)
+		w.pendingJoins = append(w.pendingJoins, s.ID)
+	}
+	w.dirty = true
+	w.stats.Joins++
+	return nil
+}
+
+// Leave removes the session in the given slot. Its length inflation is
+// rolled back exactly (affected edges reset to the anchor base, surviving
+// sessions' bumps replayed in slot order — the same bit-exactness argument
+// as Online.Leave), and the dual objective is decremented to match, so the
+// next Refresh knows how much re-packing the departure freed up.
+func (w *Warm) Leave(slot int) error {
+	if slot < 0 || slot >= len(w.sessions) {
+		return fmt.Errorf("core: warm leave: slot %d out of range", slot)
+	}
+	if !w.active[slot] {
+		return fmt.Errorf("core: warm leave: session %d already left", slot)
+	}
+	w.active[slot] = false
+	w.nActive--
+	w.stats.Leaves++
+	w.dirty = true
+	if w.d == nil {
+		return nil
+	}
+	// A slot that joined after the last refresh has no flow to roll back and
+	// frees no packed capacity — its departure owes no repair at all.
+	for i, p := range w.pendingJoins {
+		if p == slot {
+			w.pendingJoins = append(w.pendingJoins[:i], w.pendingJoins[i+1:]...)
+			return nil
+		}
+	}
+	// Rolling back Sets edges, which advances shrinkOK — it must not launder
+	// an *earlier* external shrink past the monotonicity check. If the
+	// ledger is already dirty, skip the rollback (the bump attribution is
+	// untrustworthy anyway) and latch a cold re-anchor instead.
+	if !w.d.MonotoneSince(w.shrinkOK) {
+		w.forceCold = true
+		return nil
+	}
+	w.rollback(slot)
+	w.pendingLeaveDem += w.sessions[slot].Demand
+	return nil
+}
+
+// rollback undoes slot's length inflation exactly and releases its flows.
+func (w *Warm) rollback(slot int) {
+	if len(w.bumps[slot]) == 0 && len(w.raw[slot]) == 0 {
+		return
+	}
+	if w.affected == nil {
+		w.affected = make([]bool, w.g.NumEdges())
+	}
+	w.affectedList = w.affectedList[:0]
+	for _, b := range w.bumps[slot] {
+		if !w.affected[b.edge] {
+			w.affected[b.edge] = true
+			w.affectedList = append(w.affectedList, b.edge)
+		}
+	}
+	for _, e := range w.affectedList {
+		w.bigD -= w.g.Edges[e].Capacity * w.d.At(e)
+		w.d.Set(e, w.base[e])
+	}
+	for j := range w.sessions {
+		if !w.active[j] || w.bumps[j] == nil {
+			continue
+		}
+		for _, b := range w.bumps[j] {
+			if w.affected[b.edge] {
+				w.d.Bump(b.edge, b.factor)
+			}
+		}
+	}
+	for _, e := range w.affectedList {
+		w.bigD += w.g.Edges[e].Capacity * w.d.At(e)
+		w.affected[e] = false
+	}
+	w.raw[slot] = nil
+	w.rawIndex[slot] = nil
+	w.bumps[slot] = nil
+	w.dem[slot] = 0
+	// The Sets above are self-inflicted shrinks: sanction them so the next
+	// monotonicity check only trips on *external* ledger mutation. The plane
+	// repair sees the shrink through the ledger journal regardless and
+	// refills the affected rows.
+	w.shrinkOK = w.d.Epoch()
+}
+
+// NumSlots returns the number of sessions ever admitted.
+func (w *Warm) NumSlots() int { return len(w.sessions) }
+
+// Active reports whether slot holds a session that has not left.
+func (w *Warm) Active(slot int) bool {
+	return slot >= 0 && slot < len(w.active) && w.active[slot]
+}
+
+// ActiveSessions returns the number of sessions that have not left.
+func (w *Warm) ActiveSessions() int { return w.nActive }
+
+// Anchored reports whether a cold anchor solve has run yet.
+func (w *Warm) Anchored() bool { return w.d != nil }
+
+// Stats returns a snapshot of the allocator's counters.
+func (w *Warm) Stats() WarmStats {
+	s := w.stats
+	if w.runner != nil {
+		s.Plane.Merge(w.runner.Metrics())
+	}
+	return s
+}
+
+// Refresh brings the allocation up to date with all joins and leaves since
+// the last refresh: warm catch-up plus re-grow phases when possible, a cold
+// anchor solve otherwise. It is a no-op when nothing changed.
+func (w *Warm) Refresh() error {
+	if w.nActive == 0 {
+		return fmt.Errorf("core: warm refresh with no active sessions")
+	}
+	if !w.dirty && w.d != nil {
+		return nil
+	}
+	if w.d == nil || w.opts.RepairPhaseBudget < 0 || w.forceCold || !w.d.MonotoneSince(w.shrinkOK) {
+		return w.cold()
+	}
+	// Amortized re-anchor: once warm repair has cost a couple of cold solves'
+	// worth of session-phases (a cold solve costs ≈ phases·k), spend the next
+	// refresh re-anchoring — this bounds compounded drift from successive
+	// incremental repairs while keeping total work within a constant factor
+	// of the cold baseline.
+	if w.repairSpent > warmReanchorFactor*w.phases*w.nActive {
+		return w.cold()
+	}
+	if err := w.warmRepair(); err != nil {
+		if errors.Is(err, errWarmFallback) {
+			return w.cold()
+		}
+		return err
+	}
+	w.stats.WarmRefreshes++
+	w.dirty = false
+	return nil
+}
+
+func (w *Warm) ensureRunner() {
+	if w.runner == nil {
+		w.runner = overlay.NewBatchRunnerOpts(w.g, append([]overlay.TreeOracle(nil), w.oracles...), overlay.BatchOptions{
+			Workers:       resolveWorkers(true, w.opts.Workers),
+			SharedPlane:   !w.opts.DisablePlane,
+			DisableRepair: w.opts.DisableRepair,
+			Dynamic:       true,
+		})
+	}
+}
+
+// rawRatio returns the anchored raw-rate-per-unit-demand level: the target a
+// joining session must be routed up to for the allocation to stay fair.
+func (w *Warm) rawRatio() float64 {
+	ratio := 0.0
+	for slot, fs := range w.raw {
+		if !w.active[slot] || len(fs) == 0 {
+			continue
+		}
+		tot := 0.0
+		for _, tf := range fs {
+			tot += tf.Rate
+		}
+		if r := tot / w.sessions[slot].Demand; r > ratio {
+			ratio = r
+		}
+	}
+	return ratio
+}
+
+// addRaw accrues raw flow onto tree t of slot, deduplicating by tree key.
+func (w *Warm) addRaw(slot int, t *overlay.Tree, rate float64) {
+	if w.rawIndex[slot] == nil {
+		w.rawIndex[slot] = make(map[uint64]int, len(w.raw[slot]))
+		for pos, tf := range w.raw[slot] {
+			w.rawIndex[slot][tf.Tree.KeyHash()] = pos
+		}
+	}
+	key := t.KeyHash()
+	if pos, ok := w.rawIndex[slot][key]; ok {
+		w.raw[slot][pos].Rate += rate
+		return
+	}
+	w.rawIndex[slot][key] = len(w.raw[slot])
+	w.raw[slot] = append(w.raw[slot], TreeFlow{Tree: t, Rate: rate})
+}
+
+// routePhase routes amounts[slot] for every listed slot through one phase of
+// batched oracle rounds against the live ledger — the identical round
+// structure (and length updates) of the cold phase loop. When stopAtBigD is
+// set the phase stops early once the dual objective reaches 1, mirroring the
+// cold loop's mid-phase stop.
+func (w *Warm) routePhase(slots []int, amounts []float64, stopAtBigD bool) error {
+	if len(w.rem) < len(w.sessions) {
+		w.rem = append(w.rem, make([]float64, len(w.sessions)-len(w.rem))...)
+	}
+	w.pending = w.pending[:0]
+	for i, slot := range slots {
+		w.rem[slot] = amounts[i]
+		w.pending = append(w.pending, slot)
+	}
+	pending := w.pending
+	for len(pending) > 0 && (!stopAtBigD || w.bigD < 1) {
+		results := w.runner.MinTrees(w.d, pending)
+		w.stats.MSTOps += len(pending)
+		next := pending[:0]
+		for pos := 0; pos < len(pending) && (!stopAtBigD || w.bigD < 1); pos++ {
+			slot := pending[pos]
+			if results[pos].Err != nil {
+				return fmt.Errorf("core: warm repair oracle %d: %w", slot, results[pos].Err)
+			}
+			t := results[pos].Tree
+			c := w.rem[slot]
+			for _, use := range t.Use() {
+				if v := w.g.Edges[use.Edge].Capacity / float64(use.Count); v < c {
+					c = v
+				}
+			}
+			w.addRaw(slot, t, c)
+			w.rem[slot] -= c
+			for _, use := range t.Use() {
+				ce := w.g.Edges[use.Edge].Capacity
+				grow := 1 + w.eps*float64(use.Count)*c/ce
+				w.bigD += ce * w.d.At(use.Edge) * (grow - 1)
+				w.d.Bump(use.Edge, grow)
+				w.bumps[slot] = append(w.bumps[slot], warmBump{edge: use.Edge, factor: grow})
+			}
+			if w.rem[slot] > 1e-15 {
+				next = append(next, slot)
+			}
+		}
+		pending = next
+	}
+	return nil
+}
+
+// warmRepair restores the allocation invariants incrementally: catch-up
+// routing for pending joins, then full re-grow phases until the dual
+// objective is back at the Garg–Könemann stop criterion. Returns
+// errWarmFallback when the budget runs out or the anchored fair-share level
+// is gone.
+func (w *Warm) warmRepair() error {
+	w.ensureRunner()
+	budget := w.opts.RepairPhaseBudget
+	used := 0
+	charge := func(n int) bool {
+		used += n
+		return budget <= 0 || used <= budget
+	}
+
+	// Rebalance phases owed to the churn processed below, in proportion to
+	// the churned demand share. Joins: a newcomer's catch-up alone leaves
+	// the incumbents' tree mix frozen in the pre-join regime (cold GK
+	// re-routes everyone every phase), so extra full phases let them shift
+	// flow off the newly contended links. Leaves: the rollback frees the
+	// departed session's capacity, and the survivors' extra phases — routed
+	// under lengths where the rolled-back edges are attractive again — are
+	// what actually re-packs it. Per-phase gains are demand-proportional, so
+	// fairness ratios are preserved either way.
+	// Leaves owe proportionally fewer phases than joins: survivors grow into
+	// freed capacity (their existing trees just get cheaper), while a join
+	// actively contends with incumbents' placed flow, which takes several
+	// dilution rounds to shift (see warmRebalanceFactor).
+	churnDem, totDem := w.pendingLeaveDem*(warmLeaveRebalanceFactor/warmRebalanceFactor), 0.0
+	for slot, s := range w.sessions {
+		if w.active[slot] {
+			totDem += s.Demand
+		}
+	}
+
+	if len(w.pendingJoins) > 0 {
+		ratio := w.rawRatio()
+		if ratio <= 0 {
+			// Every anchored session departed; there is no fair-share level
+			// to catch newcomers up to.
+			return errWarmFallback
+		}
+		slots := append([]int(nil), w.pendingJoins...)
+		chunks := make([]float64, len(slots))
+		for i, slot := range slots {
+			s := w.sessions[slot]
+			w.dem[slot] = s.Demand * w.demScale
+			chunks[i] = s.Demand * ratio / float64(w.phases)
+			churnDem += s.Demand
+		}
+		for ph := 0; ph < w.phases; ph++ {
+			if !charge(len(slots)) {
+				return errWarmFallback
+			}
+			if err := w.routePhase(slots, chunks, false); err != nil {
+				return err
+			}
+		}
+		w.pendingJoins = w.pendingJoins[:0]
+	}
+	w.pendingLeaveDem = 0
+	rebalance := 0
+	if churnDem > 0 {
+		rebalance = int(math.Ceil(warmRebalanceFactor * float64(w.phases) * churnDem / totDem))
+	}
+
+	if rebalance > 0 || w.bigD < 1 {
+		slots := make([]int, 0, w.nActive)
+		amounts := make([]float64, 0, w.nActive)
+		for slot := range w.sessions {
+			if w.active[slot] {
+				slots = append(slots, slot)
+				amounts = append(amounts, w.dem[slot])
+			}
+		}
+		for ph := 0; ph < rebalance; ph++ {
+			if !charge(len(slots)) {
+				return errWarmFallback
+			}
+			if err := w.routePhase(slots, amounts, false); err != nil {
+				return err
+			}
+		}
+		// Safety bound, mirroring the cold loop's per-doubling phase budget
+		// (Lemma 6): re-growing from a rollback needs strictly fewer phases
+		// than the anchor's own doubling round did, so tripping this means
+		// drift — re-anchor cold rather than loop.
+		m := float64(w.g.NumEdges())
+		safety := int(2.5*math.Log(m/(1-w.eps))/math.Log(1+w.eps)/w.eps) + 2
+		for ph := 0; w.bigD < 1; ph++ {
+			if ph >= safety || !charge(len(slots)) {
+				return errWarmFallback
+			}
+			if err := w.routePhase(slots, amounts, true); err != nil {
+				return err
+			}
+		}
+	}
+	w.stats.RepairPhases += used
+	w.repairSpent += used
+	return nil
+}
+
+// cold re-anchors: a full MaxConcurrentFlow solve over the active sessions,
+// whose terminal state is captured and mapped back onto the slots. All warm
+// state (including any partially applied repair) is discarded — the anchor
+// builds its own problem, oracles, and ledger from scratch.
+func (w *Warm) cold() error {
+	denseSessions := make([]*overlay.Session, 0, w.nActive)
+	denseToSlot := make([]int, 0, w.nActive)
+	for slot, s := range w.sessions {
+		if !w.active[slot] {
+			continue
+		}
+		denseSessions = append(denseSessions, &overlay.Session{ID: len(denseSessions), Members: s.Members, Demand: s.Demand})
+		denseToSlot = append(denseToSlot, slot)
+	}
+	p, err := NewProblemWeighted(w.g, denseSessions, w.mode, w.routeWeights)
+	if err != nil {
+		return fmt.Errorf("core: warm cold anchor: %w", err)
+	}
+	cap := &warmCapture{}
+	res, err := MaxConcurrentFlow(p, MaxConcurrentFlowOptions{
+		Epsilon: w.eps, Parallel: true, Workers: w.opts.Workers,
+		DisablePlane: w.opts.DisablePlane, DisableRepair: w.opts.DisableRepair,
+		capture: cap,
+	})
+	if err != nil {
+		return fmt.Errorf("core: warm cold anchor: %w", err)
+	}
+	n := len(w.sessions)
+	w.d, w.base, w.bigD, w.phases = cap.ledger, cap.base, cap.bigD, cap.phases
+	if w.phases < 1 {
+		w.phases = 1
+	}
+	w.demScale = cap.dem[0] / denseSessions[0].Demand
+	w.raw = make([][]TreeFlow, n)
+	w.rawIndex = make([]map[uint64]int, n)
+	w.bumps = make([][]warmBump, n)
+	w.dem = make([]float64, n)
+	for dense, slot := range denseToSlot {
+		w.raw[slot] = cap.raw[dense]
+		w.bumps[slot] = cap.bumps[dense]
+		w.dem[slot] = cap.dem[dense]
+	}
+	w.shrinkOK = w.d.Epoch()
+	w.pendingJoins = w.pendingJoins[:0]
+	w.pendingLeaveDem = 0
+	w.dirty = false
+	w.forceCold = false
+	w.repairSpent = 0
+	w.stats.ColdSolves++
+	w.stats.MSTOps += res.MSTOps + res.PrestepMSTOps
+	w.stats.Plane.Merge(res.Solution.Plane)
+	return nil
+}
+
+// Snapshot refreshes and returns the current exactly feasible allocation
+// over the active sessions, reindexed densely in arrival order. A snapshot
+// taken right after a cold anchor is bit-identical to that cold solve's
+// Solution; after warm repair it stays exactly feasible by the same final
+// rescale. The returned Solution owns its trees (rebuilt under the dense
+// ids) and does not alias warm state.
+func (w *Warm) Snapshot() (*Solution, error) {
+	if err := w.Refresh(); err != nil {
+		return nil, err
+	}
+	sessions := make([]*overlay.Session, 0, w.nActive)
+	flows := make([][]TreeFlow, 0, w.nActive)
+	for slot, s := range w.sessions {
+		if !w.active[slot] {
+			continue
+		}
+		newID := len(sessions)
+		rs := &overlay.Session{ID: newID, Members: s.Members, Demand: s.Demand}
+		fs := make([]TreeFlow, 0, len(w.raw[slot]))
+		for _, tf := range w.raw[slot] {
+			if tf.Rate > 0 {
+				fs = append(fs, TreeFlow{Tree: overlay.NewTree(newID, tf.Tree.Pairs, tf.Tree.Routes), Rate: tf.Rate})
+			}
+		}
+		sessions = append(sessions, rs)
+		flows = append(flows, fs)
+	}
+	sol := &Solution{G: w.g, Sessions: sessions, Flows: flows, MSTOps: w.stats.MSTOps, Phases: w.phases}
+	sol.Plane = w.Stats().Plane
+	if cong := sol.MaxCongestion(); cong > 0 {
+		sol.Scale(1 / cong)
+	}
+	return sol, nil
+}
+
+// Close releases the repair runner's worker pool. The allocator must not be
+// used afterwards; Close is idempotent.
+func (w *Warm) Close() {
+	if w.runner != nil {
+		w.runner.Close()
+		w.runner = nil
+	}
+}
+
+// warmRebalanceFactor scales the rebalance phases owed per unit of joining
+// demand share (see warmRepair). Higher factors converge the warm mix toward
+// the cold solution at proportionally higher repair cost; 4 is the smallest
+// integer factor that empirically keeps post-join snapshots within the
+// (1+eps) band of a cold solve (TestWarmJoinQualityVsExact) while a refresh
+// still costs O(phases·(1+factor·k·share)) session-phases versus the cold
+// loop's O(phases·k).
+const warmRebalanceFactor = 4.0
+
+// warmReanchorFactor sets the amortized re-anchor schedule: the warm path
+// re-anchors cold once the repair session-phases accumulated since the last
+// anchor exceed this many cold solves' worth (phases·k each). Smaller values
+// bound compounded drift tighter; larger values re-anchor less often and push
+// steady-state refresh throughput closer to the pure-warm ceiling. 1 keeps
+// the replayed churn allocations' mean snapshot throughput inside the ε band
+// of the cold baseline's (0.93–0.96 of cold across seeds) while sustaining
+// the ≥2× steady-state speedup the warm path exists for (measured 2.5–2.9×).
+const warmReanchorFactor = 1
+
+// warmLeaveRebalanceFactor is the per-unit-demand-share rebalance owed for a
+// departure. Re-packing freed capacity converges faster than shifting flow
+// away from a newcomer's contention (the survivors' marginal trees improve
+// monotonically once the rollback deflates the freed edges), so departures
+// owe fewer phases than joins.
+const warmLeaveRebalanceFactor = 1.0

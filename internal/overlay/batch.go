@@ -65,6 +65,13 @@ type BatchOptions struct {
 	// same-delta subproblems this way. The seed must not be mutated while
 	// any runner holds it.
 	Seed *Plane
+	// Dynamic declares that the oracle set will grow after construction via
+	// AddOracle (the warm-start allocator admits sessions over the runner's
+	// lifetime). It keeps the worker pool at the requested size instead of
+	// clamping it to the (possibly empty) initial oracle count, and — when
+	// SharedPlane is set — creates the plane eagerly, since a plane-aware
+	// oracle may arrive later even if none exists yet.
+	Dynamic bool
 }
 
 // BatchRunner evaluates many oracles' MinTree under a shared length ledger
@@ -162,10 +169,14 @@ func NewBatchRunner(g *graph.Graph, oracles []TreeOracle, workers int) *BatchRun
 func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions) *BatchRunner {
 	var plane *Plane
 	if opts.SharedPlane {
-		for _, o := range oracles {
-			if _, ok := o.(PlaneOracle); ok {
-				plane = NewPlane(g)
-				break
+		if opts.Dynamic {
+			plane = NewPlane(g)
+		} else {
+			for _, o := range oracles {
+				if _, ok := o.(PlaneOracle); ok {
+					plane = NewPlane(g)
+					break
+				}
 			}
 		}
 	}
@@ -173,7 +184,7 @@ func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if plane == nil && workers > len(oracles) {
+	if plane == nil && !opts.Dynamic && workers > len(oracles) {
 		workers = len(oracles)
 	}
 	if workers < 1 {
@@ -212,6 +223,29 @@ func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions)
 
 // Workers returns the resolved worker-pool size.
 func (r *BatchRunner) Workers() int { return r.workers }
+
+// AddOracle appends an oracle to the runner's set and returns its id (usable
+// in the ids argument of MinTrees/MinTreesLen). It must be called between
+// batches, from the same goroutine that runs them — never while a batch is in
+// flight. Growing the set never invalidates existing plane rows or cached
+// trees: the new oracle's member sources only *add* read targets, and a
+// stored row that was current for a superset of targets is current for the
+// old ones too (the repair check just walks a few more stored paths).
+func (r *BatchRunner) AddOracle(o TreeOracle) int {
+	id := len(r.oracles)
+	r.oracles = append(r.oracles, o)
+	r.out = append(r.out, BatchResult{})
+	if r.cache != nil {
+		r.cache = append(r.cache, treeCacheEntry{})
+		r.useCache = append(r.useCache, false)
+	}
+	if r.plane != nil && r.targets != nil {
+		if po, ok := o.(PlaneOracle); ok {
+			mergePlaneTargets(r.targets, po.PlaneSources())
+		}
+	}
+	return id
+}
 
 // Metrics returns a snapshot of the runner's shared-plane counters. Call it
 // between batches (the counters are updated while a batch is staged).
@@ -350,22 +384,25 @@ func planeTargets(oracles []TreeOracle) map[graph.NodeID][]graph.NodeID {
 		if !ok {
 			continue
 		}
-		members := po.PlaneSources()
-		for i, s := range members {
-			targets[s] = append(targets[s], members[i+1:]...)
-		}
+		mergePlaneTargets(targets, po.PlaneSources())
 	}
-	for s, ts := range targets {
+	return targets
+}
+
+// mergePlaneTargets folds one oracle's member list into the per-source target
+// sets, keeping each set sorted and deduplicated.
+func mergePlaneTargets(targets map[graph.NodeID][]graph.NodeID, members []graph.NodeID) {
+	for i, s := range members {
+		ts := append(targets[s], members[i+1:]...)
 		sort.Ints(ts)
 		dedup := ts[:0]
-		for i, t := range ts {
-			if i == 0 || t != ts[i-1] {
+		for j, t := range ts {
+			if j == 0 || t != ts[j-1] {
 				dedup = append(dedup, t)
 			}
 		}
 		targets[s] = dedup
 	}
-	return targets
 }
 
 // stagePlane runs stage 1 of a batch: walk the distinct member sources of

@@ -134,6 +134,72 @@ func TestBatchSubsetEvaluation(t *testing.T) {
 	}
 }
 
+// TestBatchAddOracleGrowsDynamicRunner pins the Dynamic/AddOracle contract
+// the warm-start allocator relies on: a runner that starts (possibly empty)
+// and grows between batches must return, for every batch over the grown set,
+// exactly what a runner built with the full set up front returns — with the
+// plane on and off, across worker counts, and with batches interleaved
+// between the AddOracle calls so stored plane rows and cached trees survive
+// the growth.
+func TestBatchAddOracleGrowsDynamicRunner(t *testing.T) {
+	g, fixed := batchFixture(t, 6)
+	// A couple of plane-aware (arbitrary) oracles exercise the plane-target
+	// merge in AddOracle; the fixed ones the plane-oblivious path.
+	oracles := append([]TreeOracle(nil), fixed[:4]...)
+	for i := 4; i < 6; i++ {
+		s, err := NewSession(i, []graph.NodeID{i, (i + 7) % 24, (i + 13) % 24, (i + 18) % 24}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := NewArbitraryOracle(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+	for _, plane := range []bool{true, false} {
+		for _, workers := range []int{1, 3} {
+			static := NewBatchRunnerOpts(g, oracles, BatchOptions{Workers: workers, SharedPlane: plane})
+			dyn := NewBatchRunnerOpts(g, nil, BatchOptions{Workers: workers, SharedPlane: plane, Dynamic: true})
+			if dyn.Workers() != workers {
+				t.Fatalf("dynamic runner clamped its pool to %d before any oracle arrived", dyn.Workers())
+			}
+			for i, o := range oracles {
+				if id := dyn.AddOracle(o); id != i {
+					t.Fatalf("AddOracle returned id %d, want %d", id, i)
+				}
+				// Batch over the grown prefix between arrivals, under fresh
+				// lengths, and compare slot by slot.
+				d := lengthsFor(g, i)
+				got := dyn.MinTreesLen(graph.NewLengthStoreFrom(d), nil)
+				want := static.MinTreesLen(graph.NewLengthStoreFrom(d), intRange(i+1))
+				if len(got) != i+1 {
+					t.Fatalf("plane=%v workers=%d: %d results after %d adds", plane, workers, len(got), i+1)
+				}
+				for j := range got {
+					if got[j].Err != nil || want[j].Err != nil {
+						t.Fatalf("slot %d: %v / %v", j, got[j].Err, want[j].Err)
+					}
+					if got[j].Tree.Key() != want[j].Tree.Key() || got[j].Len != want[j].Len {
+						t.Fatalf("plane=%v workers=%d adds=%d slot %d: grown runner diverged from static",
+							plane, workers, i+1, j)
+					}
+				}
+			}
+			dyn.Close()
+			static.Close()
+		}
+	}
+}
+
+func intRange(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
 // TestBatchWorkersResolved pins the pool-size contract: <=0 means GOMAXPROCS
 // and the pool never exceeds the oracle count.
 func TestBatchWorkersResolved(t *testing.T) {

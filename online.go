@@ -1,77 +1,48 @@
 package overcast
 
-import (
-	"fmt"
+import "fmt"
 
-	"overcast/internal/core"
-	"overcast/internal/graph"
-	"overcast/internal/overlay"
-	"overcast/internal/routing"
-)
-
-// OnlineAllocator admits sessions one at a time, assigning each a single
-// overlay tree immediately and permanently (the paper's Table VI online
-// algorithm). The step size mu controls how aggressively loaded links are
-// avoided; values around the expected per-session rate work well, and the
-// congestion stays within O(log links) of the offline optimum.
+// OnlineAllocator is the deprecated v1 surface over the online allocation
+// algorithm (Table VI), kept as a thin wrapper around Allocator for
+// compatibility. It addresses sessions by fragile arrival index instead of
+// opaque handles and exposes only the online placement, not the warm-start
+// Snapshot/Rebalance allocation.
+//
+// Deprecated: use NewAllocator / Allocator. The wrapper produces
+// bit-identical trees, rates and allocations to the v2 surface.
 type OnlineAllocator struct {
-	net     *Network
-	routing Routing
-	weights graph.Lengths
-	inner   *core.Online
-	nextID  int
-	demands []float64
+	a   *Allocator
+	ids []SessionID
 }
 
 // NewOnlineAllocator creates an allocator over net with step size mu.
+//
+// Deprecated: use NewAllocator with AllocatorOptions{Mu: mu, Routing: r}.
 func NewOnlineAllocator(net *Network, mu float64, routing Routing) (*OnlineAllocator, error) {
 	if net == nil {
 		return nil, fmt.Errorf("overcast: nil network")
 	}
-	inner, err := core.NewOnline(net.inner.Graph, mu)
+	if mu <= 0 {
+		return nil, fmt.Errorf("overcast: online step size mu=%v must be positive", mu)
+	}
+	a, err := NewAllocator(net, AllocatorOptions{Mu: mu, Routing: routing})
 	if err != nil {
 		return nil, err
 	}
-	var weights graph.Lengths
-	if len(net.inner.Pos) == net.inner.Graph.NumNodes() && len(net.inner.Pos) > 0 {
-		weights = net.inner.LinkDelays()
-	}
-	return &OnlineAllocator{net: net, routing: routing, weights: weights, inner: inner}, nil
+	return &OnlineAllocator{a: a}, nil
 }
 
 // Join admits a session and returns the overlay tree it was assigned (as
-// member-index pairs). The session keeps this tree for its lifetime.
+// member-index pairs, caller-owned). The session keeps this tree for its
+// lifetime.
 func (o *OnlineAllocator) Join(s Session) ([][2]int, error) {
-	os, err := overlay.NewSession(o.nextID, s.Members, s.Demand)
+	p, err := o.a.Join(s)
 	if err != nil {
 		return nil, err
 	}
-	g := o.net.inner.Graph
-	var oracle overlay.TreeOracle
-	if o.routing == RoutingArbitrary {
-		// The dynamic oracle routes under the allocator's lengths; building a
-		// fixed route table for it would be wasted Dijkstra work per join.
-		oracle, err = overlay.NewArbitraryOracle(g, os)
-	} else {
-		var rt *routing.IPRoutes
-		if o.weights != nil {
-			rt = routing.NewWeightedIPRoutes(g, os.Members, o.weights)
-		} else {
-			rt = routing.NewIPRoutes(g, os.Members)
-		}
-		oracle, err = overlay.NewFixedOracle(g, rt, os)
-	}
-	if err != nil {
-		return nil, err
-	}
-	tree, err := o.inner.Join(oracle)
-	if err != nil {
-		return nil, err
-	}
-	o.nextID++
-	o.demands = append(o.demands, s.Demand)
-	pairs := make([][2]int, len(tree.Pairs))
-	copy(pairs, tree.Pairs)
+	o.ids = append(o.ids, p.Session)
+	pairs := make([][2]int, len(p.Tree.Pairs()))
+	copy(pairs, p.Tree.Pairs())
 	return pairs, nil
 }
 
@@ -79,37 +50,39 @@ func (o *OnlineAllocator) Join(s Session) ([][2]int, error) {
 // tree is torn down and its length inflation rolled back exactly, so the
 // links it used become attractive to future arrivals again. Later sessions
 // are never rerouted.
-func (o *OnlineAllocator) Leave(idx int) error { return o.inner.Leave(idx) }
+func (o *OnlineAllocator) Leave(idx int) error {
+	if idx < 0 || idx >= len(o.ids) {
+		return fmt.Errorf("overcast: online leave: index %d out of range", idx)
+	}
+	return o.a.Leave(o.ids[idx])
+}
 
 // Sessions returns the number of admitted sessions (including departed
 // ones; see ActiveSessions).
-func (o *OnlineAllocator) Sessions() int { return o.inner.NumSessions() }
+func (o *OnlineAllocator) Sessions() int { return o.a.Admitted() }
 
 // ActiveSessions returns the number of admitted sessions that have not
 // left.
-func (o *OnlineAllocator) ActiveSessions() int { return o.inner.ActiveSessions() }
+func (o *OnlineAllocator) ActiveSessions() int { return o.a.Active() }
 
 // MaxCongestion returns the current maximum link congestion if every
 // admitted session sent at its full demand.
-func (o *OnlineAllocator) MaxCongestion() float64 { return o.inner.MaxCongestion() }
+func (o *OnlineAllocator) MaxCongestion() float64 { return o.a.MaxCongestion() }
 
 // SessionRate returns the feasible rate of the idx-th admitted session
 // under the current population: demand divided by the session's maximum
 // link congestion. Rates shrink as competing sessions join and recover when
-// they leave. Only meaningful for sessions that have not left.
-func (o *OnlineAllocator) SessionRate(idx int) float64 {
-	if l := o.inner.SessionMaxCongestion(idx); l > 0 {
-		return o.demands[idx] / l
+// they leave. A departed or out-of-range index is an error (earlier
+// releases silently returned a demand-derived value for departed sessions).
+func (o *OnlineAllocator) SessionRate(idx int) (float64, error) {
+	if idx < 0 || idx >= len(o.ids) {
+		return 0, fmt.Errorf("overcast: session rate: index %d out of range", idx)
 	}
-	return o.demands[idx]
+	return o.a.SessionRate(o.ids[idx])
 }
 
-// Finalize produces the exactly feasible allocation for all admitted
-// sessions (each scaled by its own maximum congestion).
+// Finalize produces the exactly feasible allocation for the active sessions
+// (each scaled by its own maximum congestion).
 func (o *OnlineAllocator) Finalize() (*Allocation, error) {
-	sol, err := o.inner.Finalize()
-	if err != nil {
-		return nil, err
-	}
-	return &Allocation{sol: sol}, nil
+	return o.a.OnlineAllocation()
 }

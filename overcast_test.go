@@ -311,7 +311,10 @@ func TestOnlineAllocatorEndToEnd(t *testing.T) {
 	if on.MaxCongestion() <= 0 {
 		t.Fatal("no congestion tracked")
 	}
-	first := on.SessionRate(0)
+	first, err := on.SessionRate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if first <= 0 {
 		t.Fatal("rate not positive")
 	}
