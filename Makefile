@@ -31,14 +31,17 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Exported-surface gate: the root package's API inventory must match the
-# committed API_SURFACE.txt. Any surface change (including additions) fails
-# api-check until api-write refreshes the inventory in the same commit.
+# Exported-surface gates: the root package's API inventory must match the
+# committed API_SURFACE.txt, and the admin wire-protocol surface must match
+# ADMIN_SURFACE.txt. Any surface change (including additions) fails
+# api-check until api-write refreshes the inventories in the same commit.
 api-check:
 	$(GO) run ./cmd/apisurface -check
+	$(GO) run ./cmd/apisurface -dir internal/admin -file ADMIN_SURFACE.txt -check
 
 api-write:
 	$(GO) run ./cmd/apisurface -write
+	$(GO) run ./cmd/apisurface -dir internal/admin -file ADMIN_SURFACE.txt -write
 
 # Full benchmark suite (paper tables/figures + scale tier).
 bench:
@@ -49,11 +52,12 @@ bench-smoke:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
 
 # Large-instance scale tier: solver benches (1,000-10,000 nodes, per-scenario
-# instances), the Waxman topology-generation benches, and the Allocator v2
-# warm-start churn acceptance pair. Takes minutes at default -benchtime; CI
-# passes BENCHFLAGS="-short -benchtime 1x".
+# instances), the Waxman topology-generation benches, the Allocator v2
+# warm-start churn acceptance pair, and the overcastd admin-socket churn
+# replay. Takes minutes at default -benchtime; CI passes
+# BENCHFLAGS="-short -benchtime 1x".
 bench-scale:
-	$(GO) test -run '^$$' -bench 'BenchmarkScale|BenchmarkWaxman|BenchmarkChurnWarmStart' -benchmem -timeout 3600s $(BENCHFLAGS) . ./internal/topology/
+	$(GO) test -run '^$$' -bench 'BenchmarkScale|BenchmarkWaxman|BenchmarkChurnWarmStart|BenchmarkDaemonChurn' -benchmem -timeout 3600s $(BENCHFLAGS) . ./internal/topology/
 
 # Refresh the committed perf-trajectory baseline: run the scale tier the way
 # CI does, rewrite BENCH_scale.json, and print the old-vs-new comparison.

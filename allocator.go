@@ -103,6 +103,53 @@ type Placement struct {
 	Rate float64
 }
 
+// PlaneStats exposes the shared-SSSP-plane counters of the solver stack (the
+// internal overlay metrics plane) on the public surface, so daemons and
+// library users can read cache effectiveness without internal imports. All
+// counters accumulate over the allocator's lifetime.
+type PlaneStats struct {
+	// Rounds counts batch rounds that staged at least one plane row.
+	Rounds int
+	// Sources counts SSSP rows actually computed by Dijkstra (first fills
+	// plus repairs) — the misses.
+	Sources int
+	// Requests counts per-member SSSP reads served from the plane.
+	Requests int
+	// Repaired counts row refills forced by the cross-round dirty-source
+	// check; Skipped counts refills it proved unnecessary (no Dijkstra at
+	// all); Seeded counts rows copied from a prestep seed plane.
+	Repaired, Skipped, Seeded int
+	// TreeHits counts whole oracle evaluations served from the tree cache.
+	TreeHits int
+}
+
+// Dedup returns Requests/Sources, the average number of member reads served
+// per Dijkstra computed (1 when the plane never fired).
+func (p PlaneStats) Dedup() float64 {
+	if p.Sources == 0 {
+		return 1
+	}
+	return float64(p.Requests) / float64(p.Sources)
+}
+
+// HitRate returns the fraction of member reads that did not trigger a
+// Dijkstra (0 when the plane never fired).
+func (p PlaneStats) HitRate() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return 1 - float64(p.Sources)/float64(p.Requests)
+}
+
+// RepairRate returns the fraction of cross-round row revalidations resolved
+// without a Dijkstra: Skipped/(Skipped+Repaired) (0 when repair never ran).
+func (p PlaneStats) RepairRate() float64 {
+	if p.Skipped+p.Repaired == 0 {
+		return 0
+	}
+	return float64(p.Skipped) / float64(p.Skipped+p.Repaired)
+}
+
 // AllocatorStats counts an Allocator's work.
 type AllocatorStats struct {
 	// Joins and Leaves count successfully processed events.
@@ -111,11 +158,18 @@ type AllocatorStats struct {
 	// Snapshot/Rebalance; WarmRefreshes counts refreshes served by
 	// warm-start incremental repair instead.
 	ColdSolves, WarmRefreshes int
+	// WarmFallbacks counts refreshes that attempted warm repair and fell
+	// back to a cold solve mid-way (RepairPhaseBudget exhausted, or every
+	// anchored session departed). Scheduled re-anchors are not fallbacks.
+	WarmFallbacks int
 	// RepairPhases counts session-phases routed by warm repair.
 	RepairPhases int
 	// MSTOps counts spanning-tree computations across joins, anchors and
 	// repair (the paper's running-time unit).
 	MSTOps int
+	// Plane aggregates the shared-SSSP-plane counters across anchors, warm
+	// repair, and online joins.
+	Plane PlaneStats
 }
 
 // Allocator is the v2 session-handle surface over the online + warm-start
@@ -388,8 +442,15 @@ func (a *Allocator) Stats() AllocatorStats {
 	return AllocatorStats{
 		Joins: ws.Joins, Leaves: ws.Leaves,
 		ColdSolves: ws.ColdSolves, WarmRefreshes: ws.WarmRefreshes,
-		RepairPhases: ws.RepairPhases,
-		MSTOps:       ws.MSTOps + a.online.MSTOps(),
+		WarmFallbacks: ws.WarmFallbacks,
+		RepairPhases:  ws.RepairPhases,
+		MSTOps:        ws.MSTOps + a.online.MSTOps(),
+		Plane: PlaneStats{
+			Rounds: ws.Plane.PlaneRounds, Sources: ws.Plane.PlaneSources,
+			Requests: ws.Plane.PlaneRequests, Repaired: ws.Plane.PlaneRepaired,
+			Skipped: ws.Plane.PlaneSkipped, Seeded: ws.Plane.PlaneSeeded,
+			TreeHits: ws.Plane.PlaneTreeHits,
+		},
 	}
 }
 

@@ -690,6 +690,29 @@ func BenchmarkChurnWarmStart(b *testing.B) {
 	}
 }
 
+// BenchmarkDaemonChurn measures the overcastd admin path end to end: an
+// in-process admin server on a unix socket, a 4-connection synthetic client
+// fleet replaying a churn trace through the wire protocol (joins, leaves,
+// cached and refreshing snapshot reads), then a graceful drain. The metric
+// that matters is the sustained admin ops/sec reported as ops/s — the
+// daemon's serialized-mutation lock plus JSON codec plus socket round-trip
+// on top of the warm allocator path BenchmarkChurnWarmStart isolates.
+func BenchmarkDaemonChurn(b *testing.B) {
+	b.ReportAllocs()
+	var ops float64
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.DaemonChurnRun(2004, experiments.DaemonChurnConfig{Nodes: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Joins == 0 || rep.Leaves == 0 {
+			b.Fatalf("degenerate replay: %+v", rep)
+		}
+		ops += rep.OpsPerSec
+	}
+	b.ReportMetric(ops/float64(b.N), "ops/s")
+}
+
 // --- Cross-round repair sweeps ----------------------------------------------
 //
 // The BenchmarkScalePlaneRepair* benches measure the length-ledger-driven

@@ -9,8 +9,8 @@
 //
 // where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
 // table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-// fig15, fig16, fig17, fig18, fig19, scale, churn, warmchurn, report, or
-// "all". With no
+// fig15, fig16, fig17, fig18, fig19, scale, churn, warmchurn, daemonchurn,
+// report, or "all". With no
 // arguments the Setting-A experiments (table2..fig11) run; with -scale
 // large the scale tier runs.
 //
@@ -46,6 +46,15 @@
 //
 //	experiments warmchurn
 //	experiments -nodes 400 -workers 8 warmchurn
+//
+// The daemonchurn experiment boots an in-process overcastd admin server on
+// a unix socket and replays the same kind of trace through a concurrent
+// synthetic client fleet speaking the wire protocol (joins, leaves, cached
+// and refreshing snapshot reads), printing the sustained admin ops/sec —
+// the daemon-path counterpart of warmchurn:
+//
+//	experiments daemonchurn
+//	experiments -nodes 400 -workers 8 daemonchurn
 //
 // -scale small (default) runs reduced instances in seconds; -scale paper
 // reproduces the paper's instance sizes (100-node Waxman, 10x100 two-level
@@ -118,7 +127,7 @@ func main() {
 		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
 			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-			"scale", "churn", "warmchurn", "report"}
+			"scale", "churn", "warmchurn", "daemonchurn", "report"}
 	}
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
@@ -529,6 +538,22 @@ func (r *runner) run(exp string) error {
 			fmt.Printf("warm-start mean snapshot quality: %.4f of cold throughput (FPTAS band >= %.4f)\n",
 				q, 1/(1+warm.Config.Epsilon))
 		}
+	case "daemonchurn":
+		nodes := r.nodes
+		if nodes == 0 {
+			nodes = 120
+			if r.scale == "paper" || r.scale == "large" {
+				nodes = 600
+			}
+		}
+		rep, err := experiments.DaemonChurnRun(r.seed, experiments.DaemonChurnConfig{
+			Nodes: nodes, Workers: r.workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Daemon-churn tier: overcastd admin socket throughput under a synthetic client fleet")
+		fmt.Println(rep.String())
 	case "churn":
 		var names []string
 		if r.scenario != "" {

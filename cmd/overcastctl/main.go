@@ -1,0 +1,159 @@
+// Command overcastctl is the admin client for overcastd, speaking the same
+// newline-delimited JSON protocol (v1) over the daemon's unix socket.
+//
+// Usage:
+//
+//	overcastctl [-socket PATH] [-wait DUR] <command> [args]
+//
+// Commands:
+//
+//	ping                           liveness + protocol check
+//	join -members 3,17,29 [-demand D]   admit a session (prints its token)
+//	leave -session TOKEN           remove a session
+//	rebalance                      refresh + print per-session placements
+//	snapshot [-refresh]            print the current allocation
+//	stats                          print allocator + daemon counters (JSON)
+//	metrics                        print Prometheus text exposition
+//	drain                          graceful daemon shutdown
+//
+// Exit status is 0 on success, 1 on an RPC rejection or transport error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"overcast/internal/admin"
+)
+
+func main() {
+	socket := flag.String("socket", "overcastd.sock", "overcastd admin socket path")
+	wait := flag.Duration("wait", 0, "retry the initial connect for this long (for racing daemon startup)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "overcastctl: no command (ping|join|leave|rebalance|snapshot|stats|metrics|drain)")
+		os.Exit(2)
+	}
+	if err := run(*socket, *wait, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "overcastctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(socket string, wait time.Duration, args []string) error {
+	c, err := admin.Dial(socket, wait)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ping":
+		pong, err := c.Ping()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: protocol v%d", pong.Protocol)
+		if pong.Draining {
+			fmt.Printf(" (draining)")
+		}
+		fmt.Println()
+	case "join":
+		fs := flag.NewFlagSet("join", flag.ExitOnError)
+		members := fs.String("members", "", "comma-separated member node ids (first is the source)")
+		demand := fs.Float64("demand", 1, "session demand")
+		fs.Parse(rest)
+		m, err := parseMembers(*members)
+		if err != nil {
+			return err
+		}
+		p, err := c.Join(m, *demand)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session %d admitted at epoch %d: rate %.4f over a %d-hop tree\n",
+			p.Session, p.Epoch, p.Rate, p.Tree.Hops)
+	case "leave":
+		fs := flag.NewFlagSet("leave", flag.ExitOnError)
+		session := fs.Uint64("session", 0, "session token from join")
+		fs.Parse(rest)
+		res, err := c.Leave(*session)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session %d left, %d active\n", res.Session, res.Active)
+	case "rebalance":
+		res, err := c.Rebalance()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rebalanced at epoch %d:\n", res.Epoch)
+		for _, p := range res.Placements {
+			fmt.Printf("  session %d: rate %.4f over %d trees\n", p.Session, p.Rate, len(p.Trees))
+		}
+	case "snapshot":
+		fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+		refresh := fs.Bool("refresh", false, "re-solve incrementally before reading")
+		fs.Parse(rest)
+		snap, err := c.Snapshot(*refresh)
+		if err != nil {
+			return err
+		}
+		kind := "cached"
+		if *refresh {
+			kind = "refreshed"
+		}
+		fmt.Printf("%s allocation at epoch %d: throughput %.2f, min rate %.4f, max congestion %.4f\n",
+			kind, snap.Epoch, snap.Throughput, snap.MinRate, snap.MaxCongestion)
+		for _, sa := range snap.Sessions {
+			fmt.Printf("  session %d: rate %.4f / demand %.2f over %d trees\n",
+				sa.Session, sa.Rate, sa.Demand, len(sa.Trees))
+		}
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	case "metrics":
+		text, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	case "drain":
+		res, err := c.Drain()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("draining, %d active sessions will be persisted\n", res.Active)
+	default:
+		return fmt.Errorf("unknown command %q (ping|join|leave|rebalance|snapshot|stats|metrics|drain)", cmd)
+	}
+	return nil
+}
+
+func parseMembers(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("join needs -members (comma-separated node ids, first is the source)")
+	}
+	var members []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad member %q: %v", part, err)
+		}
+		members = append(members, v)
+	}
+	return members, nil
+}

@@ -1,0 +1,121 @@
+// Daemon: run an overcastd admin server in-process and drive it through the
+// wire protocol — join sessions, read a fair-allocation snapshot, inspect
+// live counters, and drain gracefully. The same admin.Client calls work
+// against a real `overcastd` process; only the server setup here would move
+// to the daemon's command line (see README "Running overcastd").
+//
+// Run with: go run ./examples/daemon
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"overcast"
+	"overcast/internal/admin"
+)
+
+func main() {
+	// The daemon side: a root Allocator wrapped in an admin server on a
+	// unix socket, with crash-recovery persistence to state.json.
+	net, err := overcast.WaxmanNetwork(100, 100, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := overcast.NewAllocator(net, overcast.AllocatorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alloc.Close()
+
+	dir, err := os.MkdirTemp("", "overcastd-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	socket := filepath.Join(dir, "admin.sock")
+	srv, err := admin.NewServer(alloc, admin.Options{
+		SocketPath: socket,
+		StatePath:  filepath.Join(dir, "state.json"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := srv.Restore(); err != nil { // no-op on the first start
+		log.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	// The client side: everything below is what a real client does against
+	// a running overcastd.
+	c, err := admin.Dial(socket, 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	pong, err := c.Ping()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected: protocol v%d\n", pong.Protocol)
+
+	// Join two sessions; the returned token names the session from now on
+	// (stable across daemon restarts, unlike in-process handles).
+	p1, err := c.Join([]int{3, 17, 29, 41, 53}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := c.Join([]int{5, 25, 55, 75, 95}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted session %d (online rate %.1f) and session %d (online rate %.1f)\n",
+		p1.Session, p1.Rate, p2.Session, p2.Rate)
+
+	// A refreshing snapshot re-solves the ε-feasible max-min-fair
+	// allocation incrementally; snap.Sessions lists it per token.
+	snap, err := c.Snapshot(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fair allocation at epoch %d: throughput %.1f, min rate %.2f\n",
+		snap.Epoch, snap.Throughput, snap.MinRate)
+	for _, sa := range snap.Sessions {
+		fmt.Printf("  session %d: rate %.2f over %d trees\n", sa.Session, sa.Rate, len(sa.Trees))
+	}
+
+	// Cached reads serve the materialized allocation without blocking
+	// behind mutations — the cheap polling path.
+	if _, err := c.Snapshot(false); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := c.Leave(p1.Session); err != nil {
+		log.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counters: %d active, %d joins, %d warm refreshes, plane dedup %.1fx\n",
+		st.Active, st.Allocator.Joins, st.Allocator.WarmRefreshes, st.Allocator.Plane.Dedup())
+
+	// Drain: the daemon persists a final state snapshot and Serve returns
+	// nil. Restarting with the same StatePath would replay the surviving
+	// session and serve the persisted allocation bit-identically.
+	if _, err := c.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("daemon drained cleanly")
+}

@@ -1,0 +1,191 @@
+package admin
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RPCError is a failed admin RPC: the server rejected the request with a
+// machine-readable code (the ErrCode* constants) and a message.
+type RPCError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RPCError) Error() string { return fmt.Sprintf("admin: %s: %s", e.Code, e.Msg) }
+
+// Client speaks the admin protocol over one connection. Safe for concurrent
+// use: calls are serialized on the connection (the protocol is strictly
+// request/response per frame).
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	nextID uint64
+}
+
+// Dial connects to an overcastd admin socket, retrying for up to wait so
+// callers can race a just-started daemon (wait <= 0 tries exactly once).
+func Dial(socketPath string, wait time.Duration) (*Client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		conn, err := net.Dial("unix", socketPath)
+		if err == nil {
+			return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64<<10)}, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("admin: dial %s: %w", socketPath, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do sends one request frame and reads its response, matching correlation
+// ids. A failed RPC returns *RPCError; transport failures return the
+// underlying error.
+func (c *Client) do(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.V = ProtocolVersion
+	req.ID = c.nextID
+	frame, err := EncodeFrame(req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return nil, fmt.Errorf("admin: write %s request: %w", req.Op, err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("admin: read %s response: %w", req.Op, err)
+	}
+	resp, err := DecodeResponse(line[:len(line)-1])
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("admin: response id %d for request id %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return nil, &RPCError{Code: resp.Code, Msg: resp.Error}
+	}
+	return resp, nil
+}
+
+// missing flags a success response without its op's result body — a server
+// bug, but the client must not nil-panic over the wire.
+func missing(op string) error { return fmt.Errorf("admin: %s response missing result body", op) }
+
+// Ping checks liveness and protocol agreement.
+func (c *Client) Ping() (*PingResult, error) {
+	resp, err := c.do(&Request{Op: OpPing})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Ping == nil {
+		return nil, missing(OpPing)
+	}
+	return resp.Ping, nil
+}
+
+// Join admits a session and returns its epoch-stamped placement; the token
+// in Placement.Session names the session in later calls.
+func (c *Client) Join(members []int, demand float64) (*WirePlacement, error) {
+	resp, err := c.do(&Request{Op: OpJoin, Join: &JoinParams{Members: members, Demand: demand}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Join == nil {
+		return nil, missing(OpJoin)
+	}
+	return &resp.Join.Placement, nil
+}
+
+// Leave removes the session with the given token.
+func (c *Client) Leave(session uint64) (*LeaveResult, error) {
+	resp, err := c.do(&Request{Op: OpLeave, Leave: &LeaveParams{Session: session}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Leave == nil {
+		return nil, missing(OpLeave)
+	}
+	return resp.Leave, nil
+}
+
+// Rebalance refreshes the fair allocation and returns every active
+// session's placement.
+func (c *Client) Rebalance() (*RebalanceResult, error) {
+	resp, err := c.do(&Request{Op: OpRebalance})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Rebalance == nil {
+		return nil, missing(OpRebalance)
+	}
+	return resp.Rebalance, nil
+}
+
+// Snapshot reads the current allocation. With refresh it re-solves
+// incrementally first; otherwise it serves the daemon's last materialized
+// allocation without blocking behind mutations.
+func (c *Client) Snapshot(refresh bool) (*SnapshotResult, error) {
+	req := &Request{Op: OpSnapshot}
+	if refresh {
+		req.Snapshot = &SnapshotParams{Refresh: true}
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Snapshot == nil {
+		return nil, missing(OpSnapshot)
+	}
+	return resp.Snapshot, nil
+}
+
+// Stats reads the allocator and daemon counters.
+func (c *Client) Stats() (*StatsResult, error) {
+	resp, err := c.do(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, missing(OpStats)
+	}
+	return resp.Stats, nil
+}
+
+// Metrics reads the counters as Prometheus text exposition format.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.do(&Request{Op: OpMetrics})
+	if err != nil {
+		return "", err
+	}
+	if resp.Metrics == nil {
+		return "", missing(OpMetrics)
+	}
+	return resp.Metrics.Text, nil
+}
+
+// Drain asks the daemon to shut down gracefully: it stops accepting work,
+// persists a final state snapshot, and exits. The daemon closes this
+// connection after acknowledging.
+func (c *Client) Drain() (*DrainResult, error) {
+	resp, err := c.do(&Request{Op: OpDrain})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Drain == nil {
+		return nil, missing(OpDrain)
+	}
+	return resp.Drain, nil
+}

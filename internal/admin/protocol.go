@@ -1,0 +1,340 @@
+// Package admin implements the overcastd admin protocol: a local RPC surface
+// over a unix socket through which clients join and leave sessions, trigger
+// rebalances, and read allocations and counters from a long-running
+// Allocator daemon.
+//
+// The wire format is newline-delimited JSON frames. Every request and every
+// response carries an explicit protocol version field ("v": 1); frames with
+// any other version are rejected with ErrCodeBadVersion, so the protocol can
+// evolve without silent misdecodes — and because the envelope is a plain
+// (version, id, op, typed-body) record, moving the same message catalogue
+// onto a different codec or transport (gRPC, length-prefixed binary) is a
+// codec swap, not a redesign.
+//
+// Sessions cross the wire as daemon-issued uint64 tokens, not library
+// SessionID handles: tokens are stable across daemon restarts (the state
+// snapshot persists them), while handles are an in-process concept. Token 0
+// is invalid, mirroring the zero SessionID.
+//
+// The exported types of this package ARE the wire surface; ADMIN_SURFACE.txt
+// inventories them the same way API_SURFACE.txt gates the root package, so
+// any wire-visible change must show up in review.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"overcast"
+)
+
+// ProtocolVersion is the admin wire-protocol version this package speaks.
+// Frames carrying any other "v" are rejected.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds a single request or response frame. Frames beyond the
+// limit are rejected rather than buffered (the admin socket is a control
+// plane, not a bulk channel); snapshot responses of very large populations
+// are the one legitimate big frame, so the ceiling is generous.
+const MaxFrameBytes = 8 << 20
+
+// Request ops.
+const (
+	// OpPing checks liveness and protocol agreement.
+	OpPing = "ping"
+	// OpJoin admits a session (params in Request.Join).
+	OpJoin = "join"
+	// OpLeave removes a session by token (params in Request.Leave).
+	OpLeave = "leave"
+	// OpRebalance refreshes the fair allocation and returns per-session
+	// placements.
+	OpRebalance = "rebalance"
+	// OpSnapshot returns the current allocation (params in Request.Snapshot).
+	OpSnapshot = "snapshot"
+	// OpStats returns allocator + daemon counters.
+	OpStats = "stats"
+	// OpMetrics returns the counters as Prometheus text exposition format.
+	OpMetrics = "metrics"
+	// OpDrain asks the daemon to shut down gracefully: stop accepting work,
+	// persist a final state snapshot, and exit.
+	OpDrain = "drain"
+)
+
+// Error codes carried on failed responses (Response.Code).
+const (
+	// ErrCodeBadVersion rejects a frame whose "v" is not ProtocolVersion.
+	ErrCodeBadVersion = "bad-version"
+	// ErrCodeBadFrame rejects a frame that is not a well-formed request.
+	ErrCodeBadFrame = "bad-frame"
+	// ErrCodeUnknownOp rejects a well-formed request with an unknown op.
+	ErrCodeUnknownOp = "unknown-op"
+	// ErrCodeBadParams rejects a request missing or malforming its op's
+	// parameter body.
+	ErrCodeBadParams = "bad-params"
+	// ErrCodeUnknownSession rejects a token that names no live session.
+	ErrCodeUnknownSession = "unknown-session"
+	// ErrCodeAdmission rejects a join the admission policy refused; the
+	// join has been rolled back exactly and the allocator is unchanged.
+	ErrCodeAdmission = "admission-rejected"
+	// ErrCodeDraining rejects mutations while the daemon drains.
+	ErrCodeDraining = "draining"
+	// ErrCodeInternal reports an allocator or daemon failure.
+	ErrCodeInternal = "internal"
+)
+
+// Request is one admin RPC call. Exactly one of the op-specific parameter
+// bodies may be set, matching Op; ops without parameters carry none.
+type Request struct {
+	// V is the protocol version; must equal ProtocolVersion.
+	V int `json:"v"`
+	// ID is an opaque client-chosen correlation id echoed on the response.
+	ID uint64 `json:"id"`
+	// Op selects the operation (the Op* constants).
+	Op string `json:"op"`
+
+	Join     *JoinParams     `json:"join,omitempty"`
+	Leave    *LeaveParams    `json:"leave,omitempty"`
+	Snapshot *SnapshotParams `json:"snapshot,omitempty"`
+}
+
+// JoinParams admits one session.
+type JoinParams struct {
+	// Members lists the session's nodes; Members[0] is the source.
+	Members []int `json:"members"`
+	// Demand is the session's desired rate.
+	Demand float64 `json:"demand"`
+}
+
+// LeaveParams removes one session.
+type LeaveParams struct {
+	// Session is the daemon-issued token from the join response.
+	Session uint64 `json:"session"`
+}
+
+// SnapshotParams controls a snapshot read.
+type SnapshotParams struct {
+	// Refresh forces an incremental re-solve before reading (serialized
+	// with mutations). The default serves the daemon's last materialized
+	// allocation without touching the allocator — a concurrent read.
+	Refresh bool `json:"refresh,omitempty"`
+}
+
+// Response is one admin RPC reply. OK discriminates: on success the Op's
+// result body is set; on failure Code and Error describe the rejection.
+type Response struct {
+	// V is the protocol version; always ProtocolVersion.
+	V int `json:"v"`
+	// ID echoes the request's correlation id (0 when the request was too
+	// malformed to recover one).
+	ID uint64 `json:"id"`
+	// OK reports success.
+	OK bool `json:"ok"`
+	// Code is a machine-readable error class (the ErrCode* constants);
+	// Error is the human-readable message. Both empty on success.
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	Ping      *PingResult      `json:"ping,omitempty"`
+	Join      *JoinResult      `json:"join,omitempty"`
+	Leave     *LeaveResult     `json:"leave,omitempty"`
+	Rebalance *RebalanceResult `json:"rebalance,omitempty"`
+	Snapshot  *SnapshotResult  `json:"snapshot,omitempty"`
+	Stats     *StatsResult     `json:"stats,omitempty"`
+	Metrics   *MetricsResult   `json:"metrics,omitempty"`
+	Drain     *DrainResult     `json:"drain,omitempty"`
+}
+
+// PingResult acknowledges liveness.
+type PingResult struct {
+	// Protocol is the server's protocol version (ProtocolVersion).
+	Protocol int `json:"protocol"`
+	// Draining reports whether the daemon is shutting down.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// WireTree is one overlay tree with its allocated rate.
+type WireTree struct {
+	// Pairs are the overlay edges as (i,j) member-index pairs.
+	Pairs [][2]int `json:"pairs"`
+	// Rate is the flow carried by this tree.
+	Rate float64 `json:"rate"`
+	// Hops is the total physical link traversals.
+	Hops int `json:"hops"`
+}
+
+// WirePlacement is the epoch-stamped placement of one session.
+type WirePlacement struct {
+	// Session is the daemon-issued token.
+	Session uint64 `json:"session"`
+	// Epoch stamps the allocator epoch the placement was computed at.
+	Epoch uint64 `json:"epoch"`
+	// Rate is the session's feasible rate under the placement.
+	Rate float64 `json:"rate"`
+	// Members lists the session's nodes (Members[0] is the source); tree
+	// pairs index this slice.
+	Members []int `json:"members"`
+	// Tree is the primary tree; Trees every tree carrying flow.
+	Tree  WireTree   `json:"tree"`
+	Trees []WireTree `json:"trees,omitempty"`
+}
+
+// JoinResult reports an admitted session.
+type JoinResult struct {
+	Placement WirePlacement `json:"placement"`
+}
+
+// LeaveResult acknowledges a departure.
+type LeaveResult struct {
+	// Session echoes the departed token.
+	Session uint64 `json:"session"`
+	// Active is the post-departure active-session count.
+	Active int `json:"active"`
+}
+
+// RebalanceResult reports the refreshed placements of every active session,
+// in admission order.
+type RebalanceResult struct {
+	Epoch      uint64          `json:"epoch"`
+	Placements []WirePlacement `json:"placements"`
+}
+
+// WireAllocation is one session's slice of a snapshot.
+type WireAllocation struct {
+	// Session is the daemon-issued token.
+	Session uint64 `json:"session"`
+	// Demand and Rate are the session's desired and allocated rates.
+	Demand float64 `json:"demand"`
+	Rate   float64 `json:"rate"`
+	// Members lists the session's nodes; tree pairs index this slice.
+	Members []int `json:"members"`
+	// Trees lists every tree carrying flow for the session.
+	Trees []WireTree `json:"trees,omitempty"`
+}
+
+// SnapshotResult is the daemon's current ε-feasible fair allocation.
+type SnapshotResult struct {
+	// Epoch is the allocator epoch the allocation was materialized at.
+	Epoch uint64 `json:"epoch"`
+	// Restored marks an allocation served from the on-disk state snapshot
+	// after a restart, before any fresh refresh has run.
+	Restored bool `json:"restored,omitempty"`
+	// Sessions lists the active sessions' allocations in admission order.
+	Sessions []WireAllocation `json:"sessions"`
+	// Throughput is Σ_i (|S_i|-1)·rate_i; MinRate the smallest session
+	// rate; MaxCongestion the maximum link load/capacity ratio.
+	Throughput    float64 `json:"throughput"`
+	MinRate       float64 `json:"min_rate"`
+	MaxCongestion float64 `json:"max_congestion"`
+}
+
+// DaemonStats counts the daemon's own work, alongside the allocator's.
+type DaemonStats struct {
+	// RPCs counts served requests by op (failed ones included).
+	RPCs map[string]int `json:"rpcs"`
+	// AdmissionRejected counts joins refused by the admission policy.
+	AdmissionRejected int `json:"admission_rejected"`
+	// SnapshotsSaved counts state snapshots persisted to disk; Restored
+	// reports whether this daemon process recovered from one.
+	SnapshotsSaved int  `json:"snapshots_saved"`
+	Restored       bool `json:"restored,omitempty"`
+	// UptimeSeconds is the time since the daemon started serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining reports whether the daemon is shutting down.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// StatsResult reports live counters.
+type StatsResult struct {
+	// Active and Admitted count sessions; Epoch is the allocator epoch;
+	// MaxCongestion the current online congestion.
+	Active        int     `json:"active"`
+	Admitted      int     `json:"admitted"`
+	Epoch         uint64  `json:"epoch"`
+	MaxCongestion float64 `json:"max_congestion"`
+	// Allocator wraps the library's work counters (including the shared
+	// SSSP plane and warm-repair counters, overcast.AllocatorStats.Plane).
+	Allocator overcast.AllocatorStats `json:"allocator"`
+	// Daemon wraps the daemon-level counters.
+	Daemon DaemonStats `json:"daemon"`
+}
+
+// MetricsResult carries the Prometheus text exposition of StatsResult.
+type MetricsResult struct {
+	Text string `json:"text"`
+}
+
+// DrainResult acknowledges a graceful-shutdown request.
+type DrainResult struct {
+	// Active is the number of sessions the final state snapshot will carry.
+	Active int `json:"active"`
+}
+
+// EncodeFrame marshals v as one newline-terminated JSON frame.
+func EncodeFrame(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("admin: encode frame: %w", err)
+	}
+	if len(b)+1 > MaxFrameBytes {
+		return nil, fmt.Errorf("admin: frame of %d bytes exceeds MaxFrameBytes", len(b)+1)
+	}
+	return append(b, '\n'), nil
+}
+
+// FrameError is a request decode failure, classified by the ErrCode* code a
+// server should reject the frame with. ID carries the request's correlation
+// id when it could be recovered from the malformed frame.
+type FrameError struct {
+	Code string
+	ID   uint64
+	Msg  string
+}
+
+// Error implements error.
+func (e *FrameError) Error() string { return "admin: " + e.Msg }
+
+// DecodeRequest parses and validates one request frame (without the trailing
+// newline). Failures are *FrameError carrying the rejection code: malformed
+// JSON, a version other than ProtocolVersion, an unknown op, or a missing
+// parameter body for ops that require one.
+func DecodeRequest(line []byte) (*Request, error) {
+	if len(line) > MaxFrameBytes {
+		return nil, &FrameError{Code: ErrCodeBadFrame, Msg: "request frame too large"}
+	}
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return nil, &FrameError{Code: ErrCodeBadFrame, Msg: fmt.Sprintf("malformed request frame: %v", err)}
+	}
+	if req.V != ProtocolVersion {
+		return nil, &FrameError{Code: ErrCodeBadVersion, ID: req.ID,
+			Msg: fmt.Sprintf("protocol version %d, want %d", req.V, ProtocolVersion)}
+	}
+	switch req.Op {
+	case OpPing, OpRebalance, OpSnapshot, OpStats, OpMetrics, OpDrain:
+		// Parameterless (Snapshot's body is optional).
+	case OpJoin:
+		if req.Join == nil {
+			return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID, Msg: `join request missing "join" params`}
+		}
+	case OpLeave:
+		if req.Leave == nil {
+			return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID, Msg: `leave request missing "leave" params`}
+		}
+	default:
+		return nil, &FrameError{Code: ErrCodeUnknownOp, ID: req.ID, Msg: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+	return &req, nil
+}
+
+// DecodeResponse parses and version-checks one response frame (without the
+// trailing newline).
+func DecodeResponse(line []byte) (*Response, error) {
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("admin: malformed response frame: %w", err)
+	}
+	if resp.V != ProtocolVersion {
+		return nil, fmt.Errorf("admin: response protocol version %d, want %d", resp.V, ProtocolVersion)
+	}
+	return &resp, nil
+}

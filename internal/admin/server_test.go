@@ -1,0 +1,495 @@
+package admin
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"overcast"
+)
+
+// testHarness is one in-process daemon: allocator, server, serve goroutine.
+type testHarness struct {
+	t     *testing.T
+	alloc *overcast.Allocator
+	srv   *Server
+	serve chan error
+}
+
+func startHarness(t *testing.T, dir string, opts Options, allocOpts overcast.AllocatorOptions) *testHarness {
+	t.Helper()
+	net, err := overcast.WaxmanNetwork(32, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := overcast.NewAllocator(net, allocOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.SocketPath == "" {
+		opts.SocketPath = filepath.Join(dir, "admin.sock")
+	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 2 * time.Second
+	}
+	srv, err := NewServer(alloc, opts)
+	if err != nil {
+		alloc.Close()
+		t.Fatal(err)
+	}
+	if _, err := srv.Restore(); err != nil {
+		alloc.Close()
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		alloc.Close()
+		t.Fatal(err)
+	}
+	h := &testHarness{t: t, alloc: alloc, srv: srv, serve: make(chan error, 1)}
+	go func() { h.serve <- srv.Serve() }()
+	t.Cleanup(func() { alloc.Close() })
+	return h
+}
+
+func (h *testHarness) dial() *Client {
+	h.t.Helper()
+	c, err := Dial(h.srv.opts.SocketPath, 2*time.Second)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return c
+}
+
+// drainAndWait drains through the client and waits for Serve to return nil.
+func (h *testHarness) drainAndWait(c *Client) {
+	h.t.Helper()
+	if _, err := c.Drain(); err != nil {
+		h.t.Fatalf("drain: %v", err)
+	}
+	select {
+	case err := <-h.serve:
+		if err != nil {
+			h.t.Fatalf("Serve after drain = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		h.t.Fatal("Serve did not return after drain")
+	}
+}
+
+func mustJoin(t *testing.T, c *Client, members []int, demand float64) *WirePlacement {
+	t.Helper()
+	p, err := c.Join(members, demand)
+	if err != nil {
+		t.Fatalf("join %v: %v", members, err)
+	}
+	if p.Session == 0 {
+		t.Fatal("join issued the invalid zero token")
+	}
+	return p
+}
+
+// TestDaemonLifecycle is the acceptance test of the tentpole: start a daemon,
+// mutate it through the socket, drain it (persisting a final state snapshot),
+// restart against the same state path, and require the restored daemon to
+// serve the persisted allocation bit-identically to the on-disk bytes.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state.json")
+
+	h := startHarness(t, dir, Options{StatePath: state}, overcast.AllocatorOptions{})
+	c := h.dial()
+	defer c.Close()
+
+	pong, err := c.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong.Protocol != ProtocolVersion || pong.Draining {
+		t.Fatalf("ping = %+v", pong)
+	}
+
+	p1 := mustJoin(t, c, []int{0, 3, 9}, 1)
+	p2 := mustJoin(t, c, []int{5, 12, 20, 27}, 2)
+	p3 := mustJoin(t, c, []int{1, 8, 30}, 1)
+	if p1.Session == p2.Session || p2.Session == p3.Session {
+		t.Fatal("token reuse")
+	}
+	if p2.Epoch <= p1.Epoch {
+		t.Fatalf("epochs not advancing: %d then %d", p1.Epoch, p2.Epoch)
+	}
+
+	left, err := c.Leave(p2.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Session != p2.Session || left.Active != 2 {
+		t.Fatalf("leave = %+v", left)
+	}
+	if _, err := c.Leave(p2.Session); err == nil {
+		t.Fatal("double leave succeeded")
+	} else if rpcErr := new(RPCError); !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeUnknownSession {
+		t.Fatalf("double leave error = %v, want %s", err, ErrCodeUnknownSession)
+	}
+
+	reb, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reb.Placements) != 2 {
+		t.Fatalf("rebalance placed %d sessions, want 2", len(reb.Placements))
+	}
+	if reb.Placements[0].Session != p1.Session || reb.Placements[1].Session != p3.Session {
+		t.Fatalf("rebalance order %d,%d, want %d,%d",
+			reb.Placements[0].Session, reb.Placements[1].Session, p1.Session, p3.Session)
+	}
+
+	// The rebalance materialized an allocation; a cached read must serve it
+	// and a refreshing read must agree on the population.
+	cached, err := c.Snapshot(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached.Sessions) != 2 || cached.Epoch != reb.Epoch {
+		t.Fatalf("cached snapshot = epoch %d with %d sessions", cached.Epoch, len(cached.Sessions))
+	}
+	fresh, err := c.Snapshot(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Sessions) != 2 {
+		t.Fatalf("refreshed snapshot has %d sessions", len(fresh.Sessions))
+	}
+	if fresh.Sessions[0].Session != p1.Session || fresh.Sessions[1].Session != p3.Session {
+		t.Fatal("refreshed snapshot token order != admission order")
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active != 2 || st.Allocator.Joins != 3 || st.Allocator.Leaves != 1 {
+		t.Fatalf("stats = active %d, joins %d, leaves %d", st.Active, st.Allocator.Joins, st.Allocator.Leaves)
+	}
+	if st.Daemon.Restored {
+		t.Fatal("fresh daemon claims to be restored")
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"overcastd_active_sessions 2",
+		"overcastd_joins_total 3",
+		`overcastd_rpcs_total{op="join"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+
+	h.drainAndWait(c)
+
+	// The final state snapshot is on disk. Pull the raw persisted allocation
+	// bytes for the bitwise comparison below.
+	raw, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk struct {
+		V        int             `json:"v"`
+		Sessions json.RawMessage `json:"sessions"`
+		Snapshot json.RawMessage `json:"snapshot"`
+	}
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.V != ProtocolVersion || len(onDisk.Snapshot) == 0 {
+		t.Fatalf("state file: version %d, snapshot %d bytes", onDisk.V, len(onDisk.Snapshot))
+	}
+
+	// Restart: a fresh allocator restored from the same state path.
+	h2 := startHarness(t, dir, Options{StatePath: state}, overcast.AllocatorOptions{})
+	c2 := h2.dial()
+	defer c2.Close()
+
+	st2, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Active != 2 || !st2.Daemon.Restored {
+		t.Fatalf("restored stats = active %d, restored %v", st2.Active, st2.Daemon.Restored)
+	}
+
+	// Acceptance: the restored daemon serves the pre-crash allocation
+	// bit-identically to the on-disk snapshot until the next refresh.
+	snap2, err := c2.Snapshot(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.TrimSpace(onDisk.Snapshot)) {
+		t.Fatalf("restored snapshot != persisted bytes:\n got  %s\n disk %s", got, onDisk.Snapshot)
+	}
+
+	// Tokens must not be reissued across the restart, and the restored
+	// population must keep serving mutations.
+	p4 := mustJoin(t, c2, []int{2, 14, 25}, 1)
+	if p4.Session <= p3.Session {
+		t.Fatalf("post-restart token %d reuses pre-crash token space (last was %d)", p4.Session, p3.Session)
+	}
+	if _, err := c2.Leave(p1.Session); err != nil {
+		t.Fatalf("pre-crash token %d unusable after restore: %v", p1.Session, err)
+	}
+	h2.drainAndWait(c2)
+}
+
+// TestAdmissionMaxSessions: the population cap rejects the overflow join with
+// the admission code and no allocator state change.
+func TestAdmissionMaxSessions(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{MaxSessions: 2}, overcast.AllocatorOptions{})
+	c := h.dial()
+	defer c.Close()
+
+	mustJoin(t, c, []int{0, 3, 9}, 1)
+	p2 := mustJoin(t, c, []int{5, 12, 20}, 1)
+	_, err := c.Join([]int{1, 8, 30}, 1)
+	rpcErr := new(RPCError)
+	if !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeAdmission {
+		t.Fatalf("overflow join error = %v, want %s", err, ErrCodeAdmission)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active != 2 || st.Daemon.AdmissionRejected != 1 {
+		t.Fatalf("after rejection: active %d, rejected %d", st.Active, st.Daemon.AdmissionRejected)
+	}
+	// Departures free capacity.
+	if _, err := c.Leave(p2.Session); err != nil {
+		t.Fatal(err)
+	}
+	mustJoin(t, c, []int{1, 8, 30}, 1)
+	h.drainAndWait(c)
+}
+
+// TestAdmissionMaxCongestion: a congestion threshold below any feasible
+// placement rejects the join and rolls the allocator back exactly.
+func TestAdmissionMaxCongestion(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{MaxCongestion: 1e-9}, overcast.AllocatorOptions{})
+	c := h.dial()
+	defer c.Close()
+
+	_, err := c.Join([]int{0, 3, 9}, 1)
+	rpcErr := new(RPCError)
+	if !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeAdmission {
+		t.Fatalf("join error = %v, want %s", err, ErrCodeAdmission)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active != 0 {
+		t.Fatalf("rolled-back join left %d active sessions", st.Active)
+	}
+	if st.Allocator.Joins != 1 || st.Allocator.Leaves != 1 {
+		t.Fatalf("rollback counters: joins %d, leaves %d (want 1, 1)", st.Allocator.Joins, st.Allocator.Leaves)
+	}
+	h.drainAndWait(c)
+}
+
+// TestAdmissionStrict: with a repair budget too small for warm repair to
+// absorb a join (RepairPhaseBudget=2 forces a fallback on the first
+// post-anchor refresh — see the WarmFallbacks counter), a strict daemon
+// rejects the join that could not be repaired within budget.
+func TestAdmissionStrict(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{StrictAdmission: true},
+		overcast.AllocatorOptions{RepairPhaseBudget: 2})
+	c := h.dial()
+	defer c.Close()
+
+	// First join: no cold anchor yet, the probe is skipped.
+	mustJoin(t, c, []int{0, 3, 9}, 1)
+	if _, err := c.Snapshot(true); err != nil { // cold anchor
+		t.Fatal(err)
+	}
+	_, err := c.Join([]int{5, 12, 20, 27}, 2)
+	rpcErr := new(RPCError)
+	if !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeAdmission {
+		t.Fatalf("strict join error = %v, want %s", err, ErrCodeAdmission)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active != 1 || st.Daemon.AdmissionRejected != 1 {
+		t.Fatalf("after strict rejection: active %d, rejected %d", st.Active, st.Daemon.AdmissionRejected)
+	}
+	if st.Allocator.WarmFallbacks == 0 {
+		t.Fatal("strict rejection fired without a recorded warm fallback")
+	}
+	h.drainAndWait(c)
+}
+
+// TestServerRejectsBadFrames: the server answers protocol violations with
+// coded error responses on the live socket, without dropping the connection
+// for recoverable ones.
+func TestServerRejectsBadFrames(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{}, overcast.AllocatorOptions{})
+	c := h.dial()
+	defer c.Close()
+
+	send := func(frame string) *Response {
+		t.Helper()
+		if _, err := c.conn.Write([]byte(frame + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		line, err := c.r.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := DecodeResponse(line[:len(line)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := send(`{"v":9,"id":4,"op":"ping"}`); resp.OK || resp.Code != ErrCodeBadVersion || resp.ID != 4 {
+		t.Fatalf("future version: %+v", resp)
+	}
+	if resp := send(`this is not json`); resp.OK || resp.Code != ErrCodeBadFrame {
+		t.Fatalf("malformed frame: %+v", resp)
+	}
+	if resp := send(`{"v":1,"id":5,"op":"warp"}`); resp.OK || resp.Code != ErrCodeUnknownOp {
+		t.Fatalf("unknown op: %+v", resp)
+	}
+	if resp := send(`{"v":1,"id":6,"op":"join"}`); resp.OK || resp.Code != ErrCodeBadParams {
+		t.Fatalf("missing params: %+v", resp)
+	}
+	// The connection survived all four rejections.
+	if pong, err := c.Ping(); err != nil || pong.Protocol != ProtocolVersion {
+		t.Fatalf("ping after rejections: %v %+v", err, pong)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Daemon.RPCs["invalid"] != 4 {
+		t.Fatalf("invalid-frame counter = %d, want 4", st.Daemon.RPCs["invalid"])
+	}
+	h.drainAndWait(c)
+}
+
+// TestConcurrentReadsDuringMutation: cached snapshot reads on one connection
+// proceed while another connection holds the mutation path busy; every read
+// serves a coherent materialized allocation.
+func TestConcurrentReadsDuringMutation(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{}, overcast.AllocatorOptions{})
+	w := h.dial()
+	defer w.Close()
+
+	mustJoin(t, w, []int{0, 3, 9}, 1)
+	if _, err := w.Snapshot(true); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			members := []int{1 + i%4, 8 + i%5, 20 + i%6}
+			p, err := w.Join(members, 1)
+			if err != nil {
+				done <- err
+				return
+			}
+			if _, err := w.Snapshot(true); err != nil {
+				done <- err
+				return
+			}
+			if _, err := w.Leave(p.Session); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	r := h.dial()
+	defer r.Close()
+	reads := 0
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reads == 0 {
+				t.Fatal("reader never completed a snapshot")
+			}
+			h.drainAndWait(r)
+			return
+		default:
+			snap, err := r.Snapshot(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snap.Sessions) == 0 {
+				t.Fatal("cached snapshot with no sessions")
+			}
+			reads++
+		}
+	}
+}
+
+// TestRestoreMissingAndCorruptState: a missing state file restores zero
+// sessions; a corrupt or future-versioned one fails loudly instead of
+// silently starting empty.
+func TestRestoreMissingAndCorruptState(t *testing.T) {
+	dir := t.TempDir()
+	net, err := overcast.WaxmanNetwork(16, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := overcast.NewAllocator(net, overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alloc.Close()
+
+	newSrv := func(state string) *Server {
+		t.Helper()
+		srv, err := NewServer(alloc, Options{SocketPath: filepath.Join(dir, "s.sock"), StatePath: state})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	if n, err := newSrv(filepath.Join(dir, "absent.json")).Restore(); err != nil || n != 0 {
+		t.Fatalf("missing state: restored %d, err %v", n, err)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"v":1,"sessions":[{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newSrv(corrupt).Restore(); err == nil {
+		t.Fatal("corrupt state restored silently")
+	}
+
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(`{"v":2,"next_token":1,"sessions":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newSrv(future).Restore(); err == nil {
+		t.Fatal("future-versioned state restored silently")
+	}
+}

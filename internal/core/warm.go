@@ -79,6 +79,12 @@ type WarmStats struct {
 	ColdSolves int
 	// WarmRefreshes counts Refresh calls served by incremental repair.
 	WarmRefreshes int
+	// WarmFallbacks counts refreshes that attempted the warm path and fell
+	// back to a cold solve mid-repair (budget exhausted, or the anchored
+	// fair-share level gone) — scheduled re-anchors and external-drift colds
+	// are not fallbacks. Admission control keys off this: a join whose probe
+	// refresh could not be repaired within RepairPhaseBudget is rejectable.
+	WarmFallbacks int
 	// RepairPhases counts session-phases routed by warm repair.
 	RepairPhases int
 	// MSTOps counts spanning-tree computations across anchors and repair.
@@ -314,6 +320,7 @@ func (w *Warm) Refresh() error {
 	}
 	if err := w.warmRepair(); err != nil {
 		if errors.Is(err, errWarmFallback) {
+			w.stats.WarmFallbacks++
 			return w.cold()
 		}
 		return err

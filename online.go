@@ -35,6 +35,9 @@ func NewOnlineAllocator(net *Network, mu float64, routing Routing) (*OnlineAlloc
 // Join admits a session and returns the overlay tree it was assigned (as
 // member-index pairs, caller-owned). The session keeps this tree for its
 // lifetime.
+//
+// Deprecated: use Allocator.Join, which returns an opaque SessionID handle
+// and an epoch-stamped Placement (see the README v1 -> v2 migration table).
 func (o *OnlineAllocator) Join(s Session) ([][2]int, error) {
 	p, err := o.a.Join(s)
 	if err != nil {
@@ -50,6 +53,9 @@ func (o *OnlineAllocator) Join(s Session) ([][2]int, error) {
 // tree is torn down and its length inflation rolled back exactly, so the
 // links it used become attractive to future arrivals again. Later sessions
 // are never rerouted.
+//
+// Deprecated: use Allocator.Leave with the SessionID handle from Join —
+// handles keep failing cleanly after departure instead of shifting meaning.
 func (o *OnlineAllocator) Leave(idx int) error {
 	if idx < 0 || idx >= len(o.ids) {
 		return fmt.Errorf("overcast: online leave: index %d out of range", idx)
@@ -59,14 +65,20 @@ func (o *OnlineAllocator) Leave(idx int) error {
 
 // Sessions returns the number of admitted sessions (including departed
 // ones; see ActiveSessions).
+//
+// Deprecated: use Allocator.Admitted.
 func (o *OnlineAllocator) Sessions() int { return o.a.Admitted() }
 
 // ActiveSessions returns the number of admitted sessions that have not
 // left.
+//
+// Deprecated: use Allocator.Active.
 func (o *OnlineAllocator) ActiveSessions() int { return o.a.Active() }
 
 // MaxCongestion returns the current maximum link congestion if every
 // admitted session sent at its full demand.
+//
+// Deprecated: use Allocator.MaxCongestion.
 func (o *OnlineAllocator) MaxCongestion() float64 { return o.a.MaxCongestion() }
 
 // SessionRate returns the feasible rate of the idx-th admitted session
@@ -74,6 +86,8 @@ func (o *OnlineAllocator) MaxCongestion() float64 { return o.a.MaxCongestion() }
 // link congestion. Rates shrink as competing sessions join and recover when
 // they leave. A departed or out-of-range index is an error (earlier
 // releases silently returned a demand-derived value for departed sessions).
+//
+// Deprecated: use Allocator.SessionRate with the SessionID handle.
 func (o *OnlineAllocator) SessionRate(idx int) (float64, error) {
 	if idx < 0 || idx >= len(o.ids) {
 		return 0, fmt.Errorf("overcast: session rate: index %d out of range", idx)
@@ -83,6 +97,9 @@ func (o *OnlineAllocator) SessionRate(idx int) (float64, error) {
 
 // Finalize produces the exactly feasible allocation for the active sessions
 // (each scaled by its own maximum congestion).
+//
+// Deprecated: use Allocator.OnlineAllocation for this view, or
+// Allocator.Snapshot for the re-solved eps-feasible fair allocation.
 func (o *OnlineAllocator) Finalize() (*Allocation, error) {
 	return o.a.OnlineAllocation()
 }
