@@ -2,6 +2,7 @@ package overcast
 
 import (
 	"fmt"
+	"time"
 
 	"overcast/internal/core"
 	"overcast/internal/graph"
@@ -54,6 +55,14 @@ type AllocatorOptions struct {
 	// positive = fall back to a cold re-solve when exceeded, negative =
 	// always re-solve cold (the baseline warm-start is measured against).
 	RepairPhaseBudget int
+	// Shards runs Snapshot/Rebalance oracle rounds on that many solver
+	// shards behind an explicit price-exchange boundary, partitioned by the
+	// network's AS labels when it has them (two-level topologies) and by
+	// contiguous node ranges otherwise. 0 = unsharded. Outputs are
+	// bit-identical for every shard count; the boundary exists for memory
+	// locality and for a future distributed transport. Workers sizes each
+	// shard's oracle pool.
+	Shards int
 }
 
 // OverlayTree is an immutable view of one overlay tree with its allocated
@@ -150,6 +159,31 @@ func (p PlaneStats) RepairRate() float64 {
 	return float64(p.Skipped) / float64(p.Skipped+p.Repaired)
 }
 
+// ShardStats exposes the sharded solver's price-exchange counters (zero when
+// AllocatorOptions.Shards is 0). All counters accumulate over the allocator's
+// lifetime.
+type ShardStats struct {
+	// Shards is the configured shard count.
+	Shards int
+	// Rounds[s] counts the oracle-evaluation rounds shard s actually ran
+	// (rounds where at least one of its homed sessions was in the batch).
+	Rounds []int
+	// ExchangeRounds counts price-synchronization rounds (one per oracle
+	// batch).
+	ExchangeRounds int
+	// Msgs counts price messages applied to shard replicas; CutMsgs is the
+	// subset concerning partition-cut edges — the messages a distributed
+	// transport would actually have to ship.
+	Msgs, CutMsgs int
+	// ExchangeBytes estimates the encoded size of the cut-edge traffic.
+	ExchangeBytes int64
+	// Resyncs counts full-snapshot replica rebuilds.
+	Resyncs int
+	// ReduceTime is the time spent merging shard results back into
+	// canonical (shard, session-id) order.
+	ReduceTime time.Duration
+}
+
 // AllocatorStats counts an Allocator's work.
 type AllocatorStats struct {
 	// Joins and Leaves count successfully processed events.
@@ -170,6 +204,9 @@ type AllocatorStats struct {
 	// Plane aggregates the shared-SSSP-plane counters across anchors, warm
 	// repair, and online joins.
 	Plane PlaneStats
+	// Shards aggregates the sharded solver's price-exchange counters (zero
+	// when sharding is off).
+	Shards ShardStats
 }
 
 // Allocator is the v2 session-handle surface over the online + warm-start
@@ -229,6 +266,7 @@ func NewAllocator(net *Network, opts AllocatorOptions) (*Allocator, error) {
 		Epsilon: opts.Epsilon, Workers: opts.Workers,
 		DisablePlane: opts.DisablePlane, DisableRepair: opts.DisableRepair,
 		RepairPhaseBudget: opts.RepairPhaseBudget,
+		Shards:            opts.Shards, ShardLabels: net.inner.ASOf,
 	})
 	if err != nil {
 		return nil, err
@@ -450,6 +488,13 @@ func (a *Allocator) Stats() AllocatorStats {
 			Requests: ws.Plane.PlaneRequests, Repaired: ws.Plane.PlaneRepaired,
 			Skipped: ws.Plane.PlaneSkipped, Seeded: ws.Plane.PlaneSeeded,
 			TreeHits: ws.Plane.PlaneTreeHits,
+		},
+		Shards: ShardStats{
+			Shards: ws.Shards.Shards, Rounds: append([]int(nil), ws.Shards.Rounds...),
+			ExchangeRounds: ws.Shards.ExchangeRounds,
+			Msgs:           ws.Shards.Msgs, CutMsgs: ws.Shards.CutMsgs,
+			ExchangeBytes: ws.Shards.ExchangeBytes, Resyncs: ws.Shards.Resyncs,
+			ReduceTime: time.Duration(ws.Shards.ReduceNanos),
 		},
 	}
 }

@@ -597,6 +597,41 @@ func BenchmarkScaleParallelMCFHeavytail10k(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleShardedMCF sweeps the AS-shard count over the two-level
+// 10,000-node tier: 100 ASes of 100 routers each (the paper's two-level
+// construction at the largest tier size) with 256 competing sessions,
+// sessions homed to shards by the topology's AS labels. Outputs are
+// bit-identical across the sweep (the determinism gate diffs detdump over
+// -shards 1/2/4), so the ns/op trajectory is pure wall-clock: it prices the
+// distribution boundary — per-round price-message diffing, replica Raise
+// application, and per-shard plane fills — against the fan-out win. shards=1
+// still crosses the message boundary (one shard goroutine + replica), so the
+// 1-vs-2-vs-4 trajectory separates boundary overhead from parallel speedup;
+// like the worker sweeps, real speedup needs real cores.
+func BenchmarkScaleShardedMCF(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			si := scaleInstance(b, experiments.ScaleConfig{
+				Nodes: 10000, Sessions: 256, SessionSize: 6, TwoLevelASes: 100,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{
+					Epsilon: 0.3, Parallel: true, Workers: 2,
+					Shards: shards, ShardLabels: si.Net.ASOf,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Lambda <= 0 {
+					b.Fatalf("lambda %v", res.Lambda)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScaleZipfHotPlane measures the round-level shared SSSP plane on
 // the workloads it was built for: Zipf-hot arbitrary-routing scenarios where
 // many sessions share popular member nodes, so a MaxFlow iteration's batch

@@ -1,13 +1,15 @@
 // Command detdump prints a full-precision fingerprint of solver outputs on
 // deterministic instances, used to verify that refactors keep solutions
 // bit-identical for fixed seeds. The CI determinism gate runs it at worker
-// counts 1, 2, and 8, with the shared SSSP plane enabled and disabled
-// (-plane=false) and the plane's cross-round dirty-source repair enabled
-// and disabled (-repair=false), and diffs the outputs: solver results must
-// be a function of the seed only, never of the worker-pool size, goroutine
-// scheduling, whether per-member Dijkstras were batched on the plane, or
-// whether ledger-clean plane rows were repaired instead of recomputed. Perf
-// refactors additionally diff it against the dump from the pre-change tree.
+// counts 1, 2, and 8, at solver shard counts 1, 2, and 4 (-shards), with
+// the shared SSSP plane enabled and disabled (-plane=false) and the plane's
+// cross-round dirty-source repair enabled and disabled (-repair=false), and
+// diffs the outputs: solver results must be a function of the seed only,
+// never of the worker-pool size, goroutine scheduling, how oracle rounds
+// were partitioned across price-exchanging shards, whether per-member
+// Dijkstras were batched on the plane, or whether ledger-clean plane rows
+// were repaired instead of recomputed. Perf refactors additionally diff it
+// against the dump from the pre-change tree.
 //
 // The fingerprint covers the paper's Setting-A instances under both routing
 // modes, grid-Waxman workload-scenario instances (heterogeneous
@@ -29,6 +31,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "oracle worker-pool size (0 = GOMAXPROCS); output must not depend on it")
+	shards := flag.Int("shards", 0, "solver shard count behind the price-exchange boundary (0 = unsharded); output must not depend on it")
 	plane := flag.Bool("plane", true, "enable the solve-scoped shared SSSP plane; output must not depend on it")
 	repair := flag.Bool("repair", true, "enable the plane's cross-round dirty-source repair; output must not depend on it")
 	flag.Parse()
@@ -49,7 +52,7 @@ func main() {
 		if arb {
 			p = a.ProblemArb
 		}
-		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair})
+		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair, Shards: *shards})
 		if err != nil {
 			panic(err)
 		}
@@ -64,7 +67,7 @@ func main() {
 		}
 		mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
 			Epsilon: 0.1, Parallel: true, SurplusPass: true, Workers: *workers,
-			DisablePlane: disablePlane, DisableRepair: disableRepair,
+			DisablePlane: disablePlane, DisableRepair: disableRepair, Shards: *shards,
 		})
 		if err != nil {
 			panic(err)
@@ -89,6 +92,7 @@ func main() {
 		si, err := experiments.NewScaleInstance(2026, experiments.ScaleConfig{
 			Nodes: 300, Sessions: 10, Scenario: scenario,
 			Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
+			Shards: *shards,
 		})
 		if err != nil {
 			panic(err)
@@ -135,6 +139,7 @@ func main() {
 	si, err := experiments.NewScaleInstance(2028, experiments.ScaleConfig{
 		Nodes: 150, Sessions: 12, Scenario: "cdn", Arbitrary: true,
 		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
+		Shards: *shards,
 	})
 	if err != nil {
 		panic(err)
@@ -153,11 +158,43 @@ func main() {
 		}
 	}
 
+	// Two-level AS topology with the AS partition as the shard labels: the
+	// sections above shard flat Waxman graphs by contiguous node ranges, so
+	// pin one fingerprint where -shards exercises the per-AS partition (cut
+	// edges = inter-AS links) the sharded solver is designed around.
+	tli, err := experiments.NewScaleInstance(2031, experiments.ScaleConfig{
+		Nodes: 240, Sessions: 8, SessionSize: 6, TwoLevelASes: 6,
+		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
+		Shards: *shards,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tmcf, err := tli.MCF(0.3, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("twolevel=%s mcf lambda=%.17g mstops=%d\n", tli.Config.Name(), tmcf.Lambda, tmcf.MSTOps)
+	for i := range tli.Sessions {
+		fmt.Printf("  rate[%d]=%.17g trees=%d\n", i, tmcf.SessionRate(i), tmcf.TreeCount(i))
+	}
+	tmf, err := tli.MaxFlow(0.3, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("twolevel=%s maxflow thpt=%.17g mstops=%d\n", tli.Config.Name(), tmf.OverallThroughput(), tmf.MSTOps)
+	for e, u := range tmf.Utilizations() {
+		if e%37 == 0 {
+			fmt.Printf("  util[%d]=%.17g\n", e, u)
+		}
+	}
+
 	// MF-vs-MCF report fingerprint (small tier only, all scenarios): the
 	// "which allocation wins where" table must be a pure function of the
 	// seed, like everything above it.
-	rows, err := experiments.MFvsMCFReport(2029, 0.3, *workers, disablePlane, disableRepair, nil,
-		[]experiments.ReportTier{{Name: "small", Nodes: 300, Sessions: 12}})
+	rows, err := experiments.MFvsMCFReport(2029, 0.3,
+		experiments.ReportSolverOptions{Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair, Shards: *shards},
+		nil, []experiments.ReportTier{{Name: "small", Nodes: 300, Sessions: 12}})
 	if err != nil {
 		panic(err)
 	}
@@ -177,6 +214,7 @@ func main() {
 	}
 	wa, err := overcast.NewAllocator(warmNet, overcast.AllocatorOptions{
 		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
+		Shards: *shards,
 	})
 	if err != nil {
 		panic(err)
@@ -253,6 +291,7 @@ func main() {
 	// allocation only — the per-event trace is huge).
 	wrep, err := experiments.WarmChurnRun(2030, experiments.WarmChurnConfig{
 		Nodes: 80, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
+		Shards: *shards,
 	})
 	if err != nil {
 		panic(err)

@@ -100,6 +100,7 @@ func main() {
 	sessionSize := flag.Int("sessionsize", 6, "scale experiment: custom members per session")
 	scenario := flag.String("scenario", "", "scale experiment: workload scenarios, comma-separated (all | list | names)")
 	workers := flag.Int("workers", 0, "solver oracle worker-pool size (0 = auto); outputs are worker-count independent")
+	shards := flag.Int("shards", 0, "solver shard count behind the price-exchange boundary (settingB/scale/warmchurn/report tiers; 0 = unsharded); outputs are shard-count independent")
 	plane := flag.Bool("plane", true, "enable the solve-scoped shared SSSP plane (scale/churn/report tiers); outputs are plane-independent")
 	repair := flag.Bool("repair", true, "enable the plane's cross-round dirty-source repair; outputs are repair-independent")
 	flag.Parse()
@@ -132,7 +133,7 @@ func main() {
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
 		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize, scenario: *scenario,
-		workers: *workers, disablePlane: !*plane, disableRepair: !*repair}
+		workers: *workers, shards: *shards, disablePlane: !*plane, disableRepair: !*repair}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "sessionsize" {
 			r.sessionSizeSet = true
@@ -159,6 +160,7 @@ type runner struct {
 	sessionSizeSet bool // -sessionsize given explicitly (conflicts with -scenario)
 	scenario       string
 	workers        int
+	shards         int
 	disablePlane   bool
 	disableRepair  bool
 
@@ -225,6 +227,7 @@ func (r *runner) b() (*experiments.SettingB, error) {
 		return nil, err
 	}
 	b.SolverWorkers = r.workers
+	b.SolverShards = r.shards
 	r.settingB = b
 	return b, nil
 }
@@ -486,6 +489,7 @@ func (r *runner) run(exp string) error {
 		}
 		for ci := range cfgs {
 			cfgs[ci].Workers = r.workers
+			cfgs[ci].Shards = r.shards
 			cfgs[ci].DisablePlane = r.disablePlane
 			cfgs[ci].DisableRepair = r.disableRepair
 		}
@@ -505,7 +509,10 @@ func (r *runner) run(exp string) error {
 				return err
 			}
 		}
-		rows, err := experiments.MFvsMCFReport(r.seed, 0.3, r.workers, r.disablePlane, r.disableRepair, names, nil)
+		rows, err := experiments.MFvsMCFReport(r.seed, 0.3, experiments.ReportSolverOptions{
+			Workers: r.workers, DisablePlane: r.disablePlane, DisableRepair: r.disableRepair,
+			Shards: r.shards,
+		}, names, nil)
 		if err != nil {
 			return err
 		}
@@ -520,7 +527,7 @@ func (r *runner) run(exp string) error {
 			}
 		}
 		cfg := experiments.WarmChurnConfig{
-			Nodes: nodes, Workers: r.workers,
+			Nodes: nodes, Workers: r.workers, Shards: r.shards,
 			DisablePlane: r.disablePlane, DisableRepair: r.disableRepair,
 		}
 		warm, cold, err := experiments.WarmChurnPair(r.seed, cfg)

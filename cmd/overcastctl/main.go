@@ -14,6 +14,7 @@
 //	snapshot [-refresh]            print the current allocation
 //	stats                          print allocator + daemon counters (JSON)
 //	metrics                        print Prometheus text exposition
+//	watch [-heartbeat DUR] [-events N]   stream allocation events per epoch change
 //	drain                          graceful daemon shutdown
 //
 // Exit status is 0 on success, 1 on an RPC rejection or transport error.
@@ -21,6 +22,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +38,7 @@ func main() {
 	wait := flag.Duration("wait", 0, "retry the initial connect for this long (for racing daemon startup)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "overcastctl: no command (ping|join|leave|rebalance|snapshot|stats|metrics|drain)")
+		fmt.Fprintln(os.Stderr, "overcastctl: no command (ping|join|leave|rebalance|snapshot|stats|metrics|watch|drain)")
 		os.Exit(2)
 	}
 	if err := run(*socket, *wait, flag.Args()); err != nil {
@@ -131,6 +133,39 @@ func run(socket string, wait time.Duration, args []string) error {
 			return err
 		}
 		fmt.Print(text)
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		heartbeat := fs.Duration("heartbeat", 0, "idle heartbeat interval (0 = server default, 30s)")
+		events := fs.Int("events", 0, "exit after N non-heartbeat events (0 = stream until the daemon drains)")
+		fs.Parse(rest)
+		w, err := c.Watch(*heartbeat)
+		if err != nil {
+			return err
+		}
+		seen := 0
+		for {
+			ev, err := w.Next()
+			if err != nil {
+				var rpc *admin.RPCError
+				if errors.As(err, &rpc) && rpc.Code == admin.ErrCodeDraining {
+					fmt.Println("stream closed: daemon is draining")
+					return nil
+				}
+				return err
+			}
+			if ev.Heartbeat {
+				fmt.Printf("heartbeat seq=%d epoch=%d\n", ev.Seq, ev.Epoch)
+				continue
+			}
+			sessions := 0
+			if ev.Snapshot != nil {
+				sessions = len(ev.Snapshot.Sessions)
+			}
+			fmt.Printf("event seq=%d epoch=%d sessions=%d\n", ev.Seq, ev.Epoch, sessions)
+			if seen++; *events > 0 && seen >= *events {
+				return nil
+			}
+		}
 	case "drain":
 		res, err := c.Drain()
 		if err != nil {
@@ -138,7 +173,7 @@ func run(socket string, wait time.Duration, args []string) error {
 		}
 		fmt.Printf("draining, %d active sessions will be persisted\n", res.Active)
 	default:
-		return fmt.Errorf("unknown command %q (ping|join|leave|rebalance|snapshot|stats|metrics|drain)", cmd)
+		return fmt.Errorf("unknown command %q (ping|join|leave|rebalance|snapshot|stats|metrics|watch|drain)", cmd)
 	}
 	return nil
 }

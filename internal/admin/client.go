@@ -176,6 +176,64 @@ func (c *Client) Metrics() (string, error) {
 	return resp.Metrics.Text, nil
 }
 
+// Watcher is a subscribed watch stream. Next blocks for the stream's frames;
+// the underlying Client connection belongs to the stream once Watch returns
+// and must not be used for other RPCs.
+type Watcher struct {
+	c  *Client
+	id uint64
+}
+
+// Watch converts the connection into a one-way event stream: the server
+// immediately pushes the current epoch and materialized allocation, then one
+// event per allocator-epoch change, plus a heartbeat frame whenever the
+// stream is idle for the given interval (0 = the server's default, 30s).
+// After Watch succeeds the connection carries only watch frames — use a
+// dedicated Client for it and read with Next.
+func (c *Client) Watch(heartbeat time.Duration) (*Watcher, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := &Request{V: ProtocolVersion, ID: c.nextID, Op: OpWatch}
+	if heartbeat > 0 {
+		req.Watch = &WatchParams{HeartbeatSeconds: heartbeat.Seconds()}
+	}
+	frame, err := EncodeFrame(req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(frame); err != nil {
+		return nil, fmt.Errorf("admin: write %s request: %w", OpWatch, err)
+	}
+	return &Watcher{c: c, id: req.ID}, nil
+}
+
+// Next blocks for the stream's next event (the first call returns the
+// initial snapshot frame). The stream's terminal frames surface as *RPCError:
+// ErrCodeDraining when the daemon shuts down, ErrCodeSlowConsumer when this
+// client fell too far behind; the server closes the connection after either,
+// so a subsequent Next reports the transport error.
+func (w *Watcher) Next() (*WatchEvent, error) {
+	line, err := w.c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("admin: read %s event: %w", OpWatch, err)
+	}
+	resp, err := DecodeResponse(line[:len(line)-1])
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != w.id {
+		return nil, fmt.Errorf("admin: watch frame id %d, want %d", resp.ID, w.id)
+	}
+	if !resp.OK {
+		return nil, &RPCError{Code: resp.Code, Msg: resp.Error}
+	}
+	if resp.Watch == nil {
+		return nil, missing(OpWatch)
+	}
+	return resp.Watch, nil
+}
+
 // Drain asks the daemon to shut down gracefully: it stops accepting work,
 // persists a final state snapshot, and exits. The daemon closes this
 // connection after acknowledging.

@@ -58,6 +58,14 @@ const (
 	// OpDrain asks the daemon to shut down gracefully: stop accepting work,
 	// persist a final state snapshot, and exit.
 	OpDrain = "drain"
+	// OpWatch converts the connection into a one-way event stream: the
+	// server immediately pushes the current epoch and materialized
+	// allocation, then one frame per allocator-epoch change (params in
+	// Request.Watch, optional). The stream ends with a terminal error frame
+	// — ErrCodeDraining on daemon shutdown, ErrCodeSlowConsumer when the
+	// client fell too far behind — after which the server closes the
+	// connection; no further requests are read from it.
+	OpWatch = "watch"
 )
 
 // Error codes carried on failed responses (Response.Code).
@@ -76,8 +84,13 @@ const (
 	// ErrCodeAdmission rejects a join the admission policy refused; the
 	// join has been rolled back exactly and the allocator is unchanged.
 	ErrCodeAdmission = "admission-rejected"
-	// ErrCodeDraining rejects mutations while the daemon drains.
+	// ErrCodeDraining rejects mutations while the daemon drains, and
+	// terminates watch streams when a drain starts.
 	ErrCodeDraining = "draining"
+	// ErrCodeSlowConsumer terminates a watch stream whose client fell more
+	// than the server's event buffer behind; the client should reconnect
+	// and resync from the new stream's initial snapshot frame.
+	ErrCodeSlowConsumer = "slow-consumer"
 	// ErrCodeInternal reports an allocator or daemon failure.
 	ErrCodeInternal = "internal"
 )
@@ -95,6 +108,7 @@ type Request struct {
 	Join     *JoinParams     `json:"join,omitempty"`
 	Leave    *LeaveParams    `json:"leave,omitempty"`
 	Snapshot *SnapshotParams `json:"snapshot,omitempty"`
+	Watch    *WatchParams    `json:"watch,omitempty"`
 }
 
 // JoinParams admits one session.
@@ -117,6 +131,36 @@ type SnapshotParams struct {
 	// with mutations). The default serves the daemon's last materialized
 	// allocation without touching the allocator — a concurrent read.
 	Refresh bool `json:"refresh,omitempty"`
+}
+
+// WatchParams controls a watch stream. The body is optional; the zero value
+// keeps the defaults.
+type WatchParams struct {
+	// HeartbeatSeconds is the idle-heartbeat interval: with no epoch change
+	// for this long, the server pushes a Heartbeat frame so the client can
+	// tell an idle daemon from a dead connection. 0 means the server
+	// default (30s); negative is rejected with ErrCodeBadParams.
+	HeartbeatSeconds float64 `json:"heartbeat_seconds,omitempty"`
+}
+
+// WatchEvent is one frame of a watch stream.
+type WatchEvent struct {
+	// Seq numbers the stream's frames from 1 (the initial snapshot frame)
+	// with no gaps; a gap can only be a client-side bug, since the server
+	// terminates (ErrCodeSlowConsumer) rather than skip.
+	Seq uint64 `json:"seq"`
+	// Epoch is the allocator epoch as of this event. The initial frame
+	// carries the epoch at subscribe time; subsequent frames one epoch
+	// change each, in order.
+	Epoch uint64 `json:"epoch"`
+	// Heartbeat marks an idle keep-alive frame (no epoch change; Snapshot
+	// repeats the last materialized allocation).
+	Heartbeat bool `json:"heartbeat,omitempty"`
+	// Snapshot is the daemon's last materialized allocation, nil before the
+	// first allocation materializes. Its own Epoch field records when it
+	// was materialized, which lags the event Epoch when the change that
+	// fired the event (a join or leave) did not itself re-solve.
+	Snapshot *SnapshotResult `json:"snapshot,omitempty"`
 }
 
 // Response is one admin RPC reply. OK discriminates: on success the Op's
@@ -142,6 +186,7 @@ type Response struct {
 	Stats     *StatsResult     `json:"stats,omitempty"`
 	Metrics   *MetricsResult   `json:"metrics,omitempty"`
 	Drain     *DrainResult     `json:"drain,omitempty"`
+	Watch     *WatchEvent      `json:"watch,omitempty"`
 }
 
 // PingResult acknowledges liveness.
@@ -312,6 +357,12 @@ func DecodeRequest(line []byte) (*Request, error) {
 	switch req.Op {
 	case OpPing, OpRebalance, OpSnapshot, OpStats, OpMetrics, OpDrain:
 		// Parameterless (Snapshot's body is optional).
+	case OpWatch:
+		// Body optional; a negative heartbeat is the one malformed shape.
+		if req.Watch != nil && req.Watch.HeartbeatSeconds < 0 {
+			return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID,
+				Msg: fmt.Sprintf("watch heartbeat_seconds %v is negative", req.Watch.HeartbeatSeconds)}
+		}
 	case OpJoin:
 		if req.Join == nil {
 			return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID, Msg: `join request missing "join" params`}

@@ -37,6 +37,10 @@ func TestRequestGoldenFrames(t *testing.T) {
 			`{"v":1,"id":8,"op":"metrics"}`},
 		{"drain", Request{V: 1, ID: 9, Op: OpDrain},
 			`{"v":1,"id":9,"op":"drain"}`},
+		{"watch", Request{V: 1, ID: 10, Op: OpWatch, Watch: &WatchParams{HeartbeatSeconds: 2.5}},
+			`{"v":1,"id":10,"op":"watch","watch":{"heartbeat_seconds":2.5}}`},
+		{"watch-defaults", Request{V: 1, ID: 11, Op: OpWatch},
+			`{"v":1,"id":11,"op":"watch"}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -89,6 +93,15 @@ func TestResponseGoldenFrames(t *testing.T) {
 			`{"v":1,"id":7,"ok":true,"metrics":{"text":"overcastd_active_sessions 1\n"}}`},
 		{"drain", Response{V: 1, ID: 8, OK: true, Drain: &DrainResult{Active: 3}},
 			`{"v":1,"id":8,"ok":true,"drain":{"active":3}}`},
+		{"watch-initial", Response{V: 1, ID: 9, OK: true, Watch: &WatchEvent{Seq: 1, Epoch: 9, Snapshot: &SnapshotResult{
+			Epoch:      9,
+			Sessions:   []WireAllocation{{Session: 7, Demand: 2, Rate: 1.25, Members: []int{0, 3, 9}, Trees: []WireTree{tree}}},
+			Throughput: 2.5, MinRate: 1.25, MaxCongestion: 0.5}}},
+			`{"v":1,"id":9,"ok":true,"watch":{"seq":1,"epoch":9,"snapshot":{"epoch":9,"sessions":[{"session":7,"demand":2,"rate":1.25,"members":[0,3,9],"trees":[{"pairs":[[0,1],[1,2]],"rate":1.25,"hops":3}]}],"throughput":2.5,"min_rate":1.25,"max_congestion":0.5}}}`},
+		{"watch-heartbeat", Response{V: 1, ID: 10, OK: true, Watch: &WatchEvent{Seq: 4, Epoch: 9, Heartbeat: true}},
+			`{"v":1,"id":10,"ok":true,"watch":{"seq":4,"epoch":9,"heartbeat":true}}`},
+		{"watch-slow-consumer", Response{V: 1, ID: 11, Code: ErrCodeSlowConsumer, Error: "watch stream fell more than 64 events behind; reconnect and resync"},
+			`{"v":1,"id":11,"ok":false,"code":"slow-consumer","error":"watch stream fell more than 64 events behind; reconnect and resync"}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -160,6 +173,7 @@ func TestDecodeRequestRejections(t *testing.T) {
 		{"unknown-op", `{"v":1,"id":5,"op":"explode"}`, ErrCodeUnknownOp, 5},
 		{"join-missing-params", `{"v":1,"id":6,"op":"join"}`, ErrCodeBadParams, 6},
 		{"leave-missing-params", `{"v":1,"id":7,"op":"leave"}`, ErrCodeBadParams, 7},
+		{"watch-negative-heartbeat", `{"v":1,"id":8,"op":"watch","watch":{"heartbeat_seconds":-1}}`, ErrCodeBadParams, 8},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -45,6 +45,11 @@ type Options struct {
 	// DrainTimeout bounds how long a drain waits for idle client
 	// connections before force-closing them (default 5s).
 	DrainTimeout time.Duration
+	// WatchBuffer is the per-watcher event buffer (default 64). A watch
+	// client that falls more than this many epoch changes behind is
+	// disconnected with ErrCodeSlowConsumer instead of back-pressuring
+	// mutations.
+	WatchBuffer int
 	// Logf receives daemon log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -80,13 +85,25 @@ type Server struct {
 	statMu sync.Mutex
 	rpcs   map[string]int
 
-	ln        net.Listener
-	connMu    sync.Mutex
-	conns     map[net.Conn]struct{}
-	connWG    sync.WaitGroup
-	draining  atomic.Bool
-	drainOnce sync.Once
-	drained   chan struct{}
+	watchMu  sync.Mutex // nested inside s.mu (registration and notification)
+	watchers map[*watcher]struct{}
+
+	ln         net.Listener
+	connMu     sync.Mutex
+	conns      map[net.Conn]struct{}
+	connWG     sync.WaitGroup
+	draining   atomic.Bool
+	drainOnce  sync.Once
+	drainStart chan struct{} // closed when a drain begins (terminates watch streams)
+	drained    chan struct{}
+}
+
+// watcher is one subscribed watch stream's server-side endpoint. Events are
+// fanned out non-blocking: an overflowing buffer closes dead, and serveWatch
+// terminates the stream with ErrCodeSlowConsumer.
+type watcher struct {
+	ch   chan *WatchEvent
+	dead chan struct{}
 }
 
 // NewServer wraps alloc (which the server takes ownership of: it must not be
@@ -104,14 +121,19 @@ func NewServer(alloc *overcast.Allocator, opts Options) (*Server, error) {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 5 * time.Second
 	}
+	if opts.WatchBuffer <= 0 {
+		opts.WatchBuffer = 64
+	}
 	return &Server{
-		alloc:    alloc,
-		opts:     opts,
-		start:    time.Now(),
-		sessions: make(map[uint64]*sessionEntry),
-		rpcs:     make(map[string]int),
-		conns:    make(map[net.Conn]struct{}),
-		drained:  make(chan struct{}),
+		alloc:      alloc,
+		opts:       opts,
+		start:      time.Now(),
+		sessions:   make(map[uint64]*sessionEntry),
+		rpcs:       make(map[string]int),
+		conns:      make(map[net.Conn]struct{}),
+		watchers:   make(map[*watcher]struct{}),
+		drainStart: make(chan struct{}),
+		drained:    make(chan struct{}),
 	}, nil
 }
 
@@ -219,6 +241,7 @@ func (s *Server) Serve() error {
 func (s *Server) Drain() {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
+		close(s.drainStart) // watch streams send a final draining frame and close
 		go s.finishDrain()
 	})
 }
@@ -334,7 +357,13 @@ func (s *Server) handleConn(conn net.Conn) {
 	sc.Buffer(make([]byte, 64<<10), MaxFrameBytes)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		resp, startDrain := s.dispatch(sc.Bytes())
+		resp, startDrain, watch := s.dispatch(sc.Bytes())
+		if watch != nil {
+			// The connection becomes a one-way event stream; serveWatch
+			// writes every remaining frame and the loop never resumes.
+			s.serveWatch(w, watch.id, watch.params)
+			return
+		}
 		frame, err := EncodeFrame(resp)
 		if err != nil {
 			// A result too large to frame must not kill the connection
@@ -362,18 +391,26 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// dispatch decodes and executes one request frame, returning the response
-// and whether a drain should start after it is written.
-func (s *Server) dispatch(line []byte) (*Response, bool) {
+// watchStart asks handleConn to hand the connection over to serveWatch.
+type watchStart struct {
+	id     uint64
+	params *WatchParams
+}
+
+// dispatch decodes and executes one request frame, returning the response,
+// whether a drain should start after it is written, and a non-nil watchStart
+// when the request converts the connection into a watch stream (the response
+// is nil then; serveWatch writes the initial frame itself).
+func (s *Server) dispatch(line []byte) (*Response, bool, *watchStart) {
 	req, err := DecodeRequest(line)
 	if err != nil {
 		var fe *FrameError
 		if errors.As(err, &fe) {
 			s.countRPC("invalid")
-			return errResp(fe.ID, fe.Code, fe.Msg), false
+			return errResp(fe.ID, fe.Code, fe.Msg), false, nil
 		}
 		s.countRPC("invalid")
-		return errResp(0, ErrCodeBadFrame, err.Error()), false
+		return errResp(0, ErrCodeBadFrame, err.Error()), false, nil
 	}
 	s.countRPC(req.Op)
 	resp := &Response{V: ProtocolVersion, ID: req.ID, OK: true}
@@ -383,40 +420,45 @@ func (s *Server) dispatch(line []byte) (*Response, bool) {
 	case OpJoin:
 		res, code, err := s.handleJoin(req.Join)
 		if err != nil {
-			return errResp(req.ID, code, err.Error()), false
+			return errResp(req.ID, code, err.Error()), false, nil
 		}
 		resp.Join = res
 	case OpLeave:
 		res, code, err := s.handleLeave(req.Leave)
 		if err != nil {
-			return errResp(req.ID, code, err.Error()), false
+			return errResp(req.ID, code, err.Error()), false, nil
 		}
 		resp.Leave = res
 	case OpRebalance:
 		res, code, err := s.handleRebalance()
 		if err != nil {
-			return errResp(req.ID, code, err.Error()), false
+			return errResp(req.ID, code, err.Error()), false, nil
 		}
 		resp.Rebalance = res
 	case OpSnapshot:
 		refresh := req.Snapshot != nil && req.Snapshot.Refresh
 		res, code, err := s.handleSnapshot(refresh)
 		if err != nil {
-			return errResp(req.ID, code, err.Error()), false
+			return errResp(req.ID, code, err.Error()), false, nil
 		}
 		resp.Snapshot = res
 	case OpStats:
 		resp.Stats = s.handleStats()
 	case OpMetrics:
 		resp.Metrics = &MetricsResult{Text: PrometheusText(s.handleStats())}
+	case OpWatch:
+		if s.draining.Load() {
+			return errResp(req.ID, ErrCodeDraining, "daemon is draining"), false, nil
+		}
+		return nil, false, &watchStart{id: req.ID, params: req.Watch}
 	case OpDrain:
 		if s.draining.Load() {
-			return errResp(req.ID, ErrCodeDraining, "daemon is already draining"), false
+			return errResp(req.ID, ErrCodeDraining, "daemon is already draining"), false, nil
 		}
 		resp.Drain = &DrainResult{Active: s.activeCount()}
-		return resp, true
+		return resp, true, nil
 	}
-	return resp, false
+	return resp, false, nil
 }
 
 func errResp(id uint64, code, msg string) *Response {
@@ -504,6 +546,7 @@ func (s *Server) handleJoin(params *JoinParams) (*JoinResult, string, error) {
 		// The probe paid for a fresh allocation; publish it.
 		s.publishSnapshotLocked(snap, s.order)
 	}
+	s.notifyWatchersLocked()
 	return &JoinResult{Placement: wirePlacement(tok, params.Members, p)}, "", nil
 }
 
@@ -527,6 +570,7 @@ func (s *Server) handleLeave(params *LeaveParams) (*LeaveResult, string, error) 
 			break
 		}
 	}
+	s.notifyWatchersLocked()
 	return &LeaveResult{Session: params.Session, Active: len(s.order)}, "", nil
 }
 
@@ -555,6 +599,7 @@ func (s *Server) handleRebalance() (*RebalanceResult, string, error) {
 		return nil, ErrCodeInternal, err
 	}
 	s.publishSnapshotLocked(snap, s.order)
+	s.notifyWatchersLocked()
 	return res, "", nil
 }
 
@@ -637,4 +682,108 @@ func (s *Server) handleStats() *StatsResult {
 	}
 	s.statMu.Unlock()
 	return res
+}
+
+// notifyWatchersLocked fans the current epoch + materialized allocation out
+// to every watch stream after a successful mutation. Caller holds s.mu, so
+// events are enqueued in mutation order with distinct, increasing epochs.
+// The send never blocks: a watcher whose buffer is full is disconnected
+// (slow consumers must not back-pressure mutations).
+func (s *Server) notifyWatchersLocked() {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if len(s.watchers) == 0 {
+		return
+	}
+	ev := &WatchEvent{Epoch: s.alloc.Epoch()}
+	s.snapMu.RLock()
+	ev.Snapshot = s.cur
+	s.snapMu.RUnlock()
+	for w := range s.watchers {
+		select {
+		case w.ch <- ev:
+		default:
+			close(w.dead)
+			delete(s.watchers, w)
+		}
+	}
+}
+
+// serveWatch owns the connection's write side for the rest of its life: the
+// initial snapshot frame, one frame per epoch change, heartbeats when idle,
+// and a terminal error frame (draining or slow-consumer) before close. Seq
+// is assigned per-stream here, so shared fan-out events stay immutable.
+func (s *Server) serveWatch(w *bufio.Writer, id uint64, params *WatchParams) {
+	heartbeat := 30 * time.Second
+	if params != nil && params.HeartbeatSeconds > 0 {
+		heartbeat = time.Duration(params.HeartbeatSeconds * float64(time.Second))
+	}
+	wt := &watcher{ch: make(chan *WatchEvent, s.opts.WatchBuffer), dead: make(chan struct{})}
+
+	// Register under s.mu so the initial frame's epoch and the queued
+	// events form one gapless, duplicate-free sequence: every mutation
+	// either committed before the epoch read here or enqueues an event.
+	s.mu.Lock()
+	first := &WatchEvent{Seq: 1, Epoch: s.alloc.Epoch()}
+	s.snapMu.RLock()
+	first.Snapshot = s.cur
+	s.snapMu.RUnlock()
+	s.watchMu.Lock()
+	s.watchers[wt] = struct{}{}
+	s.watchMu.Unlock()
+	s.mu.Unlock()
+	defer func() {
+		s.watchMu.Lock()
+		delete(s.watchers, wt)
+		s.watchMu.Unlock()
+	}()
+
+	write := func(ev *WatchEvent) bool {
+		frame, err := EncodeFrame(&Response{V: ProtocolVersion, ID: id, OK: true, Watch: ev})
+		if err != nil {
+			frame, _ = EncodeFrame(errResp(id, ErrCodeInternal, err.Error()))
+		}
+		if _, err := w.Write(frame); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+	writeFinal := func(code, msg string) {
+		if frame, err := EncodeFrame(errResp(id, code, msg)); err == nil {
+			w.Write(frame)
+			w.Flush()
+		}
+	}
+
+	if !write(first) {
+		return
+	}
+	seq, lastEpoch, lastSnap := first.Seq, first.Epoch, first.Snapshot
+	t := time.NewTicker(heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case ev := <-wt.ch:
+			seq++
+			out := *ev
+			out.Seq = seq
+			lastEpoch, lastSnap = out.Epoch, out.Snapshot
+			if !write(&out) {
+				return
+			}
+			t.Reset(heartbeat)
+		case <-t.C:
+			seq++
+			if !write(&WatchEvent{Seq: seq, Epoch: lastEpoch, Heartbeat: true, Snapshot: lastSnap}) {
+				return
+			}
+		case <-wt.dead:
+			writeFinal(ErrCodeSlowConsumer,
+				fmt.Sprintf("watch stream fell more than %d events behind; reconnect and resync", s.opts.WatchBuffer))
+			return
+		case <-s.drainStart:
+			writeFinal(ErrCodeDraining, "daemon is draining")
+			return
+		}
+	}
 }

@@ -1,9 +1,11 @@
 package admin
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -491,5 +493,206 @@ func TestRestoreMissingAndCorruptState(t *testing.T) {
 	}
 	if _, err := newSrv(future).Restore(); err == nil {
 		t.Fatal("future-versioned state restored silently")
+	}
+}
+
+// TestWatchStream is the acceptance test of the watch satellite: a subscribed
+// client receives the initial snapshot frame and then exactly one event per
+// epoch change, in order, with gapless per-stream sequence numbers — and a
+// terminal draining frame (not a torn connection) when the daemon shuts down.
+func TestWatchStream(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{}, overcast.AllocatorOptions{})
+	wc := h.dial()
+	defer wc.Close()
+	w, err := wc.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq != 1 || first.Epoch != 0 || first.Heartbeat || first.Snapshot != nil {
+		t.Fatalf("initial frame = %+v, want seq 1, epoch 0, no snapshot", first)
+	}
+
+	// Mutations on a second connection; each bumps the epoch exactly once.
+	c := h.dial()
+	defer c.Close()
+	p1 := mustJoin(t, c, []int{0, 3, 9}, 1)
+	mustJoin(t, c, []int{5, 12, 20}, 1)
+	reb, err := c.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Leave(p1.Session); err != nil {
+		t.Fatal(err)
+	}
+
+	wantEpochs := []uint64{1, 2, reb.Epoch, reb.Epoch + 1}
+	for i, wantEpoch := range wantEpochs {
+		ev, err := w.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev.Seq != uint64(i+2) || ev.Epoch != wantEpoch || ev.Heartbeat {
+			t.Fatalf("event %d = %+v, want seq %d epoch %d", i, ev, i+2, wantEpoch)
+		}
+		if ev.Epoch == reb.Epoch {
+			// The rebalance materialized a fresh allocation; its event must
+			// carry it at the matching epoch.
+			if ev.Snapshot == nil || ev.Snapshot.Epoch != reb.Epoch || len(ev.Snapshot.Sessions) != 2 {
+				t.Fatalf("rebalance event snapshot = %+v", ev.Snapshot)
+			}
+		}
+	}
+
+	// Drain: the stream ends with a terminal draining error frame.
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Next()
+	rpcErr := new(RPCError)
+	if !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeDraining {
+		t.Fatalf("post-drain Next = %v, want %s", err, ErrCodeDraining)
+	}
+	select {
+	case err := <-h.serve:
+		if err != nil {
+			t.Fatalf("Serve after drain = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain with a live watcher")
+	}
+}
+
+// TestWatchHeartbeat: an idle stream pushes heartbeat frames at the client's
+// requested cadence, repeating the last epoch, and a subscription during a
+// drain is rejected outright.
+func TestWatchHeartbeat(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{}, overcast.AllocatorOptions{})
+	c := h.dial()
+	defer c.Close()
+	mustJoin(t, c, []int{0, 3, 9}, 1)
+
+	wc := h.dial()
+	defer wc.Close()
+	w, err := wc.Watch(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Epoch != 1 {
+		t.Fatalf("initial epoch = %d, want 1", first.Epoch)
+	}
+	hb, err := w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hb.Heartbeat || hb.Seq != 2 || hb.Epoch != first.Epoch {
+		t.Fatalf("heartbeat frame = %+v", hb)
+	}
+
+	// Pre-dial before draining: the listener closes once the drain finishes,
+	// but established connections are served until DrainTimeout.
+	late := h.dial()
+	defer late.Close()
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	lw, err := late.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = lw.Next()
+	rpcErr := new(RPCError)
+	if err == nil || (errors.As(err, &rpcErr) && rpcErr.Code != ErrCodeDraining) {
+		t.Fatalf("watch during drain = %v, want %s rejection or closed conn", err, ErrCodeDraining)
+	}
+	select {
+	case <-h.serve:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
+// TestWatchSlowConsumer drives serveWatch over a synchronous in-memory pipe:
+// with the stream's write side blocked on an unread event and the buffer
+// full, further mutations must kill the watcher (never block the mutation
+// path) and the stream must end with the slow-consumer error frame.
+func TestWatchSlowConsumer(t *testing.T) {
+	nw, err := overcast.WaxmanNetwork(16, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := overcast.NewAllocator(nw, overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alloc.Close()
+	srv, err := NewServer(alloc, Options{SocketPath: filepath.Join(t.TempDir(), "s.sock"), WatchBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, server := net.Pipe()
+	defer client.Close()
+	done := make(chan struct{})
+	go func() {
+		srv.serveWatch(bufio.NewWriter(server), 7, nil)
+		server.Close()
+		close(done)
+	}()
+
+	r := bufio.NewReader(client)
+	readFrame := func() *Response {
+		t.Helper()
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("read watch frame: %v", err)
+		}
+		resp, err := DecodeResponse(line[:len(line)-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := readFrame(); !resp.OK || resp.Watch == nil || resp.Watch.Seq != 1 {
+		t.Fatalf("initial frame = %+v", resp)
+	}
+
+	// Three notifications with nothing read: the first blocks serveWatch on
+	// the synchronous pipe, the second fills the one-slot buffer, the third
+	// must overflow and kill the watcher rather than wait.
+	for i := 0; i < 3; i++ {
+		srv.mu.Lock()
+		srv.notifyWatchersLocked()
+		srv.mu.Unlock()
+	}
+	srv.watchMu.Lock()
+	if len(srv.watchers) != 0 {
+		srv.watchMu.Unlock()
+		t.Fatal("overflowed watcher still registered")
+	}
+	srv.watchMu.Unlock()
+
+	// Drain the stream: pending event frames, then the terminal error.
+	sawSlowConsumer := false
+	for !sawSlowConsumer {
+		resp := readFrame()
+		if !resp.OK {
+			if resp.Code != ErrCodeSlowConsumer || resp.ID != 7 {
+				t.Fatalf("terminal frame = %+v, want %s", resp, ErrCodeSlowConsumer)
+			}
+			sawSlowConsumer = true
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveWatch did not return after slow-consumer kill")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"overcast/internal/graph"
 	"overcast/internal/overlay"
+	"overcast/internal/shard"
 )
 
 // MaxConcurrentFlowOptions configures the Table III FPTAS.
@@ -33,6 +34,15 @@ type MaxConcurrentFlowOptions struct {
 	// pass) and the beta prestep's cross-subproblem seed plane; see
 	// MaxFlowOptions.DisableRepair. Outputs are bit-identical either way.
 	DisableRepair bool
+	// Shards splits the phase loop's oracle rounds (and the surplus pass's)
+	// across per-AS shard goroutines behind an explicit price-message
+	// boundary; see MaxFlowOptions.Shards. 0 = unsharded; outputs are
+	// bit-identical for every shard count. The beta prestep stays unsharded
+	// (its subproblems are single-session).
+	Shards int
+	// ShardLabels optionally assigns every node a partition label; see
+	// MaxFlowOptions.ShardLabels.
+	ShardLabels []int
 	// SurplusPass, when set, routes additional MaxFlow-style traffic on the
 	// residual capacities after the fair share is secured. The paper's
 	// Table IV rates exceed lambda·dem(i) for the larger session, which is
@@ -100,6 +110,11 @@ type MCFResult struct {
 	PrestepPlane overlay.Metrics
 	// Betas are the single-session maximum flow values.
 	Betas []float64
+	// Shards carries the phase loop's price-exchange and reduce counters
+	// when the solve ran sharded (Shards zero-valued otherwise). The surplus
+	// pass's own sharded MaxFlow is not folded in (its Solution surface has
+	// no shard stats), and the prestep never shards.
+	Shards shard.Stats
 }
 
 // MaxConcurrentFlow runs the Table III FPTAS: phase-structured routing of
@@ -193,11 +208,11 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	// The phase loop fans each round of pending-session oracle calls out to
 	// the persistent worker pool (per-worker scratch); the pool outlives all
 	// phases, so goroutines and buffers are built exactly once per solve.
-	runner := overlay.NewBatchRunnerOpts(p.G, p.Oracles, overlay.BatchOptions{
+	runner := newOracleRunner(p.G, p.Oracles, overlay.BatchOptions{
 		Workers:       workers,
 		SharedPlane:   !opts.DisablePlane,
 		DisableRepair: opts.DisableRepair,
-	})
+	}, opts.Shards, opts.ShardLabels)
 	defer runner.Close()
 	rem := make([]float64, k)
 	pending := make([]int, 0, k)
@@ -295,6 +310,9 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 		sol.Scale(1 / cong)
 	}
 	res := &MCFResult{Solution: sol, PrestepMSTOps: prestepOps, PrestepPlane: prestepPlane, Betas: betas}
+	if g, ok := runner.(*shard.Group); ok {
+		res.Shards = g.Stats()
+	}
 	res.Lambda = sol.ConcurrentRatio()
 
 	if opts.SurplusPass {
@@ -334,6 +352,7 @@ func addSurplus(p *Problem, sol *Solution, eps float64, opts MaxConcurrentFlowOp
 	extra, err := MaxFlow(rp, MaxFlowOptions{
 		Epsilon: eps, Parallel: opts.Parallel, Workers: opts.Workers,
 		DisablePlane: opts.DisablePlane, DisableRepair: opts.DisableRepair,
+		Shards: opts.Shards, ShardLabels: opts.ShardLabels,
 	})
 	if err != nil {
 		return fmt.Errorf("core: surplus pass: %w", err)

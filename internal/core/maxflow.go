@@ -35,6 +35,19 @@ type MaxFlowOptions struct {
 	// Outputs are bit-identical with repair on or off. Irrelevant when the
 	// plane is off.
 	DisableRepair bool
+	// Shards splits each oracle round across per-AS shard goroutines behind
+	// an explicit price-message boundary (see internal/shard): every shard
+	// owns a length-ledger replica and its own SSSP plane, synchronized once
+	// per round by cut-edge price messages diffed from the authoritative
+	// journal. 0 disables sharding (the single-runner path); outputs are
+	// bit-identical for every shard count. Workers then sizes each shard's
+	// pool. Ignored by the seeded beta-prestep subsolves (single-session —
+	// nothing to partition).
+	Shards int
+	// ShardLabels optionally assigns every node a partition label (e.g.
+	// topology.Network.ASOf); shards group whole labels. Nil falls back to
+	// contiguous node ranges. Ignored when Shards == 0.
+	ShardLabels []int
 	// MaxIterations overrides the default safety bound (0 = automatic).
 	MaxIterations int
 
@@ -79,12 +92,12 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 	// One worker pool plus per-worker scratch for the whole run: the oracle
 	// fan-out below executes every iteration, and rebuilding goroutines and
 	// buffers each time used to dominate the solver's allocation profile.
-	runner := overlay.NewBatchRunnerOpts(p.G, p.Oracles, overlay.BatchOptions{
+	runner := newOracleRunner(p.G, p.Oracles, overlay.BatchOptions{
 		Workers:       resolveWorkers(opts.Parallel, opts.Workers),
 		SharedPlane:   !opts.DisablePlane,
 		DisableRepair: opts.DisableRepair,
 		Seed:          opts.seedPlane,
-	})
+	}, opts.Shards, opts.ShardLabels)
 	defer runner.Close()
 
 	maxIter := opts.MaxIterations

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/shard"
+)
+
+// oracleRunner is the batched oracle-evaluation surface the phase loops
+// consume, satisfied by both overlay.BatchRunner (single-machine worker
+// pool) and shard.Group (per-AS shards behind a price-message boundary).
+// Both honor the same contract: results in batch-slot order under the
+// snapshot's lengths, a reused result slice, immutable trees, and bitwise
+// identical output regardless of workers, shards, plane, or repair.
+type oracleRunner interface {
+	MinTrees(ls *graph.LengthStore, ids []int) []overlay.BatchResult
+	MinTreesLen(ls *graph.LengthStore, ids []int) []overlay.BatchResult
+	AddOracle(o overlay.TreeOracle) int
+	Metrics() overlay.Metrics
+	Close()
+}
+
+// newOracleRunner picks a solve's runner: a shard.Group when shards > 0, the
+// plain BatchRunner otherwise. Seeded runs (the MCF beta prestep's
+// subsolves) always stay unsharded: a prestep seed plane is keyed to one
+// ledger, which has no meaning across shard replicas — and the prestep's
+// subproblems are single-session, so there is nothing to partition anyway.
+func newOracleRunner(g *graph.Graph, oracles []overlay.TreeOracle, opts overlay.BatchOptions, shards int, labels []int) oracleRunner {
+	if shards > 0 && opts.Seed == nil {
+		return shard.NewGroup(g, oracles, shard.Options{
+			Shards:        shards,
+			Labels:        labels,
+			Workers:       opts.Workers,
+			SharedPlane:   opts.SharedPlane,
+			DisableRepair: opts.DisableRepair,
+			Dynamic:       opts.Dynamic,
+		})
+	}
+	return overlay.NewBatchRunnerOpts(g, oracles, opts)
+}

@@ -7,6 +7,7 @@ import (
 
 	"overcast/internal/graph"
 	"overcast/internal/overlay"
+	"overcast/internal/shard"
 )
 
 // This file implements the warm-start incremental re-solve under churn. A
@@ -62,6 +63,13 @@ type WarmOptions struct {
 	// repair runner; see MaxConcurrentFlowOptions. Bit-identical either way.
 	DisablePlane  bool
 	DisableRepair bool
+	// Shards/ShardLabels forward to the anchor solves and the warm repair
+	// runner: the repair phases then evaluate oracles on per-AS shards
+	// behind the same price-message boundary as the cold phase loop (see
+	// MaxConcurrentFlowOptions.Shards). 0 = unsharded; bit-identical either
+	// way.
+	Shards      int
+	ShardLabels []int
 	// RepairPhaseBudget bounds the warm repair work per Refresh, counted in
 	// session-phases (one session's demand routed through one phase). 0
 	// means unbounded — a warm refresh always completes; positive values cap
@@ -92,6 +100,10 @@ type WarmStats struct {
 	// Plane aggregates the shared-SSSP-plane counters across the anchors'
 	// phase loops and the warm repair runner.
 	Plane overlay.Metrics
+	// Shards aggregates the sharded solver's price-exchange and reduce
+	// counters across the anchors' phase loops and the warm repair runner
+	// (zero-valued when WarmOptions.Shards is 0).
+	Shards shard.Stats
 }
 
 // errWarmFallback signals that the warm path cannot (or may not) complete
@@ -115,7 +127,7 @@ type Warm struct {
 	active   []bool
 	nActive  int
 
-	runner *overlay.BatchRunner // lazily created; oracle id == slot
+	runner oracleRunner // lazily created; oracle id == slot
 
 	// Anchored state (d == nil until the first cold solve).
 	d        *graph.LengthStore
@@ -293,6 +305,9 @@ func (w *Warm) Stats() WarmStats {
 	s := w.stats
 	if w.runner != nil {
 		s.Plane.Merge(w.runner.Metrics())
+		if g, ok := w.runner.(*shard.Group); ok {
+			s.Shards.Merge(g.Stats())
+		}
 	}
 	return s
 }
@@ -332,12 +347,12 @@ func (w *Warm) Refresh() error {
 
 func (w *Warm) ensureRunner() {
 	if w.runner == nil {
-		w.runner = overlay.NewBatchRunnerOpts(w.g, append([]overlay.TreeOracle(nil), w.oracles...), overlay.BatchOptions{
+		w.runner = newOracleRunner(w.g, append([]overlay.TreeOracle(nil), w.oracles...), overlay.BatchOptions{
 			Workers:       resolveWorkers(true, w.opts.Workers),
 			SharedPlane:   !w.opts.DisablePlane,
 			DisableRepair: w.opts.DisableRepair,
 			Dynamic:       true,
-		})
+		}, w.opts.Shards, w.opts.ShardLabels)
 	}
 }
 
@@ -550,6 +565,7 @@ func (w *Warm) cold() error {
 	res, err := MaxConcurrentFlow(p, MaxConcurrentFlowOptions{
 		Epsilon: w.eps, Parallel: true, Workers: w.opts.Workers,
 		DisablePlane: w.opts.DisablePlane, DisableRepair: w.opts.DisableRepair,
+		Shards: w.opts.Shards, ShardLabels: w.opts.ShardLabels,
 		capture: cap,
 	})
 	if err != nil {
@@ -579,6 +595,7 @@ func (w *Warm) cold() error {
 	w.stats.ColdSolves++
 	w.stats.MSTOps += res.MSTOps + res.PrestepMSTOps
 	w.stats.Plane.Merge(res.Solution.Plane)
+	w.stats.Shards.Merge(res.Shards)
 	return nil
 }
 

@@ -65,7 +65,7 @@ func TestRepairToggleBitIdenticalScenarios(t *testing.T) {
 // point of the M2 objective.
 func TestReportDeterministicAndSane(t *testing.T) {
 	tiers := []ReportTier{{Name: "small", Nodes: 300, Sessions: 12}}
-	rows, err := MFvsMCFReport(2029, 0.3, 0, false, false, nil, tiers)
+	rows, err := MFvsMCFReport(2029, 0.3, ReportSolverOptions{}, nil, tiers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,9 @@ func TestReportDeterministicAndSane(t *testing.T) {
 			t.Errorf("%s: MCF min satisfaction %.4f below MaxFlow's %.4f — M2 lost its own objective", mcf.Scenario, mcf.MinRatio, mf.MinRatio)
 		}
 	}
-	again, err := MFvsMCFReport(2029, 0.3, 2, true, true, []string{"cdn"}, tiers)
+	again, err := MFvsMCFReport(2029, 0.3,
+		ReportSolverOptions{Workers: 2, DisablePlane: true, DisableRepair: true, Shards: 2},
+		[]string{"cdn"}, tiers)
 	if err != nil {
 		t.Fatal(err)
 	}

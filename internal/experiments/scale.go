@@ -45,6 +45,18 @@ type ScaleConfig struct {
 	// DisableRepair turns off the plane's cross-round dirty-source repair
 	// (see core.MaxFlowOptions.DisableRepair). Also wall-clock only.
 	DisableRepair bool
+	// Shards runs the solvers' oracle rounds on per-AS shards behind the
+	// price-exchange boundary (see core.MaxFlowOptions.Shards), partitioned
+	// by the instance's AS labels when the topology has them (TwoLevelASes)
+	// and by contiguous node ranges otherwise. 0 = unsharded. Wall-clock
+	// only: outputs are bit-identical for every shard count.
+	Shards int
+	// TwoLevelASes switches the topology to the paper's two-level AS/router
+	// construction with this many ASes (Nodes/TwoLevelASes routers each) —
+	// the natural partition for Shards. 0 keeps the flat Waxman topology.
+	// Incompatible with Scenario (the workload distributions are calibrated
+	// for the flat generator).
+	TwoLevelASes int
 }
 
 func (c *ScaleConfig) normalize() error {
@@ -69,6 +81,14 @@ func (c *ScaleConfig) normalize() error {
 	if c.Demand <= 0 {
 		c.Demand = 100
 	}
+	if c.TwoLevelASes > 0 {
+		if c.Scenario != "" {
+			return fmt.Errorf("experiments: TwoLevelASes is incompatible with scenario %q", c.Scenario)
+		}
+		if c.Nodes%c.TwoLevelASes != 0 || c.Nodes/c.TwoLevelASes < 2 {
+			return fmt.Errorf("experiments: %d nodes do not divide into %d ASes of >=2 routers", c.Nodes, c.TwoLevelASes)
+		}
+	}
 	return nil
 }
 
@@ -87,7 +107,11 @@ func (c ScaleConfig) Name() string {
 	if c.Scenario != "" {
 		return fmt.Sprintf("%s_n%d_k%d%s_%s", c.Scenario, c.Nodes, c.Sessions, deg, mode)
 	}
-	return fmt.Sprintf("n%d_k%d_s%d%s_%s", c.Nodes, c.Sessions, c.SessionSize, deg, mode)
+	tl := ""
+	if c.TwoLevelASes > 0 {
+		tl = fmt.Sprintf("_tl%d", c.TwoLevelASes)
+	}
+	return fmt.Sprintf("n%d_k%d_s%d%s%s_%s", c.Nodes, c.Sessions, c.SessionSize, deg, tl, mode)
 }
 
 // ScaleInstance is a constructed large scenario ready to solve.
@@ -131,7 +155,15 @@ func NewScaleInstance(seed uint64, cfg ScaleConfig) (*ScaleInstance, error) {
 		}
 	} else {
 		var err error
-		if net, err = topology.Waxman(wax, r.Split(0)); err != nil {
+		if cfg.TwoLevelASes > 0 {
+			tl := topology.DefaultTwoLevel(cfg.TwoLevelASes, cfg.Nodes/cfg.TwoLevelASes)
+			tl.MRouter = cfg.Degree
+			tl.Capacity = cfg.Capacity
+			net, err = topology.TwoLevel(tl, r.Split(0))
+		} else {
+			net, err = topology.Waxman(wax, r.Split(0))
+		}
+		if err != nil {
 			return nil, err
 		}
 		memberRNG := r.Split(1)
@@ -162,6 +194,7 @@ func (si *ScaleInstance) MaxFlow(eps float64, parallel bool) (*core.Solution, er
 	return core.MaxFlow(si.Problem, core.MaxFlowOptions{
 		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers,
 		DisablePlane: si.Config.DisablePlane, DisableRepair: si.Config.DisableRepair,
+		Shards: si.Config.Shards, ShardLabels: si.Net.ASOf,
 	})
 }
 
@@ -172,6 +205,7 @@ func (si *ScaleInstance) MCF(eps float64, parallel bool) (*core.MCFResult, error
 	return core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{
 		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers,
 		DisablePlane: si.Config.DisablePlane, DisableRepair: si.Config.DisableRepair,
+		Shards: si.Config.Shards, ShardLabels: si.Net.ASOf,
 	})
 }
 

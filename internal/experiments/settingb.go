@@ -28,6 +28,11 @@ type SettingB struct {
 	// core.MaxFlowOptions.DisablePlane); results are bit-identical either
 	// way.
 	SolverDisablePlane bool
+	// SolverShards runs each cell's solvers on per-AS shards behind the
+	// price-exchange boundary (see core.MaxFlowOptions.Shards), partitioned
+	// by the two-level topology's AS labels. 0 = unsharded; results are
+	// bit-identical for every value.
+	SolverShards int
 }
 
 // SettingBConfig scales the Sec. VI environment. The paper uses 10 ASes x
@@ -178,11 +183,11 @@ func (b *SettingB) runCell(count, size int, cfg GridConfig, r *rng.RNG) (*GridCe
 		return nil, err
 	}
 	eps := core.RatioToEpsilon(cfg.Ratio)
-	mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: eps, Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair})
+	mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: eps, Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair, Shards: b.SolverShards, ShardLabels: b.Net.ASOf})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cell (%d,%d) MaxFlow: %w", count, size, err)
 	}
-	mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{Epsilon: core.MCFRatioToEpsilon(cfg.Ratio), Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair})
+	mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{Epsilon: core.MCFRatioToEpsilon(cfg.Ratio), Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair, Shards: b.SolverShards, ShardLabels: b.Net.ASOf})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cell (%d,%d) MCF: %w", count, size, err)
 	}

@@ -33,6 +33,10 @@ type WarmChurnConfig struct {
 	Workers          int     // solver worker pool (0 = GOMAXPROCS); outputs are worker-count independent
 	DisablePlane     bool
 	DisableRepair    bool
+	// Shards runs the allocator's refreshes on price-exchanging shards (see
+	// overcast.AllocatorOptions.Shards). 0 = unsharded; outputs are
+	// shard-count independent.
+	Shards int
 	// SnapshotEvery refreshes the fair allocation every N churn events
 	// (default 4) — the consumer polling cadence.
 	SnapshotEvery int
@@ -151,6 +155,7 @@ func WarmChurnRun(seed uint64, cfg WarmChurnConfig) (*WarmChurnReport, error) {
 	opts := overcast.AllocatorOptions{
 		Mu: cfg.Mu, Epsilon: cfg.Epsilon, Routing: routing,
 		Workers: cfg.Workers, DisablePlane: cfg.DisablePlane, DisableRepair: cfg.DisableRepair,
+		Shards: cfg.Shards,
 	}
 	if cfg.ColdBaseline {
 		opts.RepairPhaseBudget = -1

@@ -93,6 +93,19 @@ func (s *LengthStore) Set(e EdgeID, v float64) {
 	s.touch(e, true)
 }
 
+// Raise assigns d_e = v and journals the touch as monotone when v does not
+// shrink the current value. This is the replica-synchronization primitive of
+// the sharded solver (internal/shard): a growth observed on the authoritative
+// ledger replays as a growth on a replica, preserving the replica's
+// monotonicity window so repair-capable consumers (the per-shard SSSP plane)
+// keep their skip/repair fast paths — a plain Set would pessimistically mark
+// every sync epoch a shrink.
+func (s *LengthStore) Raise(e EdgeID, v float64) {
+	shrink := v < s.vals[e]
+	s.vals[e] = v
+	s.touch(e, shrink)
+}
+
 func (s *LengthStore) touch(e EdgeID, shrink bool) {
 	s.epoch++
 	s.lastTouch[e] = s.epoch

@@ -1,0 +1,334 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+)
+
+// Options configures a Group beyond the oracle set.
+type Options struct {
+	// Shards is the shard count; values below 1 are clamped to 1.
+	Shards int
+	// Labels optionally assigns each node a partition label (e.g.
+	// topology.Network.ASOf); shards group whole labels via ByLabels. Nil
+	// falls back to contiguous node ranges (ByRange).
+	Labels []int
+	// Workers is each shard's oracle worker-pool size (the per-shard
+	// overlay.BatchOptions.Workers); a Group therefore runs up to
+	// Shards×Workers oracle workers in total.
+	Workers int
+	// SharedPlane/DisableRepair/Dynamic forward to every shard's BatchRunner
+	// (see overlay.BatchOptions). Each shard owns its own plane over its own
+	// ledger replica, so dirty-source repair stays shard-local.
+	SharedPlane   bool
+	DisableRepair bool
+	Dynamic       bool
+	// Trace, when set, observes every cut-edge PriceMsg in delivery order —
+	// the exchange-sequence hook the golden boundary test pins. Called on
+	// the coordinator goroutine, between batches.
+	Trace func(PriceMsg)
+}
+
+// roundReq is one coordinator→shard message: a replica synchronization
+// payload (price messages diffed from the authoritative journal, or a full
+// snapshot when the diff is unavailable) plus the implicit instruction to
+// evaluate the shard's pre-published batch slice.
+type roundReq struct {
+	msgs     []PriceMsg
+	snapshot graph.Lengths // non-nil: rebuild the replica from this
+	wantLen  bool
+}
+
+// shardWorker is one shard: a goroutine owning a full-graph length replica
+// and a BatchRunner over the oracles homed to the shard. Only msgs/snapshot
+// cross the channel; ids and res are published around it via the Group's
+// WaitGroup barrier.
+type shardWorker struct {
+	group   *Group
+	runner  *overlay.BatchRunner
+	replica *graph.LengthStore
+	req     chan roundReq
+
+	// Per-round, written by the coordinator before the req send: the
+	// runner-local oracle ids to evaluate and their global batch positions.
+	ids []int
+	pos []int
+	// res is the shard's result slice for the round (aliases the runner's
+	// reused slice), written by the worker and read by the coordinator after
+	// the round barrier.
+	res []overlay.BatchResult
+}
+
+func (w *shardWorker) loop() {
+	for req := range w.req {
+		if req.snapshot != nil {
+			vals := make(graph.Lengths, len(req.snapshot))
+			copy(vals, req.snapshot)
+			w.replica = graph.NewLengthStoreFrom(vals)
+		} else {
+			for _, m := range req.msgs {
+				// Raise journals the sync as monotone unless the price
+				// actually shrank, so the shard plane's repair window
+				// survives the exchange (see graph.LengthStore.Raise).
+				w.replica.Raise(m.CutEdge, m.Length)
+			}
+		}
+		if len(w.ids) > 0 {
+			if req.wantLen {
+				w.res = w.runner.MinTreesLen(w.replica, w.ids)
+			} else {
+				w.res = w.runner.MinTrees(w.replica, w.ids)
+			}
+		} else {
+			w.res = nil
+		}
+		w.group.wg.Done()
+	}
+	w.runner.Close()
+}
+
+// Group evaluates oracle batches across per-AS shards behind an explicit
+// price-message boundary. It exposes the same batch surface as
+// overlay.BatchRunner (MinTrees/MinTreesLen/AddOracle/Metrics/Close,
+// including the result-slice reuse contract), so the core phase loops treat
+// the two interchangeably.
+//
+// Determinism: every shard evaluates its oracles against a replica holding
+// bitwise the authoritative prices (absolute-value PriceMsg sync), each
+// oracle's result lands in its fixed batch slot, and the coordinator reduces
+// shard results in canonical (shard, session-id) order behind a WaitGroup
+// barrier — so neither the shard count nor scheduling can change what a
+// caller observes, and sharded output is bit-identical to unsharded.
+type Group struct {
+	g       *graph.Graph
+	layout  *Layout
+	workers []*shardWorker
+	opts    Options
+
+	// homes[i] is global oracle i's shard (the home of its session's first
+	// member); local[i] its runner-local id within that shard.
+	homes []int
+	local []int
+
+	// out is the group-owned batch result slice, reused per round like
+	// BatchRunner's.
+	out []overlay.BatchResult
+
+	// Authoritative-ledger diff state: the ledger and epoch of the previous
+	// sync, plus a per-edge round stamp used to deduplicate the journal into
+	// final-value messages in first-touch order.
+	lastStore *graph.LengthStore
+	lastSync  graph.Epoch
+	seen      []int
+	round     int
+	msgs      []PriceMsg
+
+	wg     sync.WaitGroup
+	stats  Stats
+	closed bool
+}
+
+// NewGroup builds a sharded group over oracles. Each oracle is homed to the
+// shard of its session's first member; shard evaluation replicates the full
+// graph, so sessions spanning ASes still route globally — only the oracle
+// *evaluation* is partitioned.
+func NewGroup(g *graph.Graph, oracles []overlay.TreeOracle, opts Options) *Group {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	var part Partition
+	if len(opts.Labels) == g.NumNodes() && g.NumNodes() > 0 {
+		part = ByLabels(opts.Labels, opts.Shards)
+	} else {
+		part = ByRange(g.NumNodes(), opts.Shards)
+	}
+	gp := &Group{
+		g:      g,
+		layout: NewLayout(g, part),
+		opts:   opts,
+		seen:   make([]int, len(g.Edges)),
+		out:    make([]overlay.BatchResult, len(oracles)),
+	}
+	gp.stats.Shards = opts.Shards
+	gp.stats.Rounds = make([]int, opts.Shards)
+	perShard := make([][]overlay.TreeOracle, opts.Shards)
+	gp.homes = make([]int, len(oracles))
+	gp.local = make([]int, len(oracles))
+	for i, o := range oracles {
+		s := part.Of[o.Session().Members[0]]
+		gp.homes[i] = s
+		gp.local[i] = len(perShard[s])
+		perShard[s] = append(perShard[s], o)
+	}
+	gp.workers = make([]*shardWorker, opts.Shards)
+	for s := range gp.workers {
+		w := &shardWorker{
+			group: gp,
+			runner: overlay.NewBatchRunnerOpts(g, perShard[s], overlay.BatchOptions{
+				Workers:       opts.Workers,
+				SharedPlane:   opts.SharedPlane,
+				DisableRepair: opts.DisableRepair,
+				Dynamic:       opts.Dynamic,
+			}),
+			req: make(chan roundReq),
+		}
+		gp.workers[s] = w
+		go w.loop()
+	}
+	return gp
+}
+
+// Shards returns the shard count.
+func (gp *Group) Shards() int { return gp.opts.Shards }
+
+// Workers returns the per-shard worker-pool size requested at construction.
+func (gp *Group) Workers() int { return gp.opts.Workers }
+
+// Layout returns the group's partition layout (read-only).
+func (gp *Group) Layout() *Layout { return gp.layout }
+
+// AddOracle appends an oracle, homing it to its session's shard, and returns
+// its group-wide id. Same contract as BatchRunner.AddOracle: call between
+// batches only.
+func (gp *Group) AddOracle(o overlay.TreeOracle) int {
+	id := len(gp.homes)
+	s := gp.layout.Part.Of[o.Session().Members[0]]
+	gp.homes = append(gp.homes, s)
+	gp.local = append(gp.local, gp.workers[s].runner.AddOracle(o))
+	gp.out = append(gp.out, overlay.BatchResult{})
+	return id
+}
+
+// MinTrees evaluates the oracles named by ids (nil = all) under ls's current
+// lengths; see overlay.BatchRunner.MinTrees for the result contract (the
+// returned slice is reused by the next call; trees are immutable).
+func (gp *Group) MinTrees(ls *graph.LengthStore, ids []int) []overlay.BatchResult {
+	return gp.run(ls, ids, false)
+}
+
+// MinTreesLen is MinTrees with each result's Len filled.
+func (gp *Group) MinTreesLen(ls *graph.LengthStore, ids []int) []overlay.BatchResult {
+	return gp.run(ls, ids, true)
+}
+
+func (gp *Group) run(ls *graph.LengthStore, ids []int, wantLen bool) []overlay.BatchResult {
+	n := len(gp.homes)
+	if ids != nil {
+		n = len(ids)
+	}
+
+	// Diff the authoritative journal since the last sync into final-value
+	// price messages, deduplicated in first-touch order (deterministic). A
+	// ledger swap or a lost journal window downgrades to a full snapshot
+	// resync; replicas then start a fresh store, which also resets their
+	// planes (BatchRunner's ledger-swap detection).
+	req := roundReq{wantLen: wantLen}
+	full := ls != gp.lastStore
+	if !full {
+		gp.round++
+		gp.msgs = gp.msgs[:0]
+		if !ls.ForEachTouched(gp.lastSync, func(e graph.EdgeID) bool {
+			if gp.seen[e] != gp.round {
+				gp.seen[e] = gp.round
+				gp.msgs = append(gp.msgs, PriceMsg{Epoch: ls.LastTouched(e), CutEdge: e, Length: ls.At(e)})
+			}
+			return false
+		}) {
+			full = true
+		}
+	}
+	cut := 0
+	if full {
+		req.snapshot = ls.Values()
+		gp.stats.Resyncs += len(gp.workers)
+	} else {
+		req.msgs = gp.msgs
+		for _, m := range gp.msgs {
+			if gp.layout.Owner[m.CutEdge] < 0 {
+				cut++
+				if gp.opts.Trace != nil {
+					gp.opts.Trace(m)
+				}
+			}
+		}
+	}
+	gp.stats.ExchangeRounds++
+	gp.stats.Msgs += len(req.msgs) * len(gp.workers)
+	gp.stats.CutMsgs += cut * len(gp.workers)
+	gp.stats.ExchangeBytes += int64(cut*len(gp.workers)) * priceMsgWireBytes
+
+	// Assign batch slots to shards in batch order, so each shard's slice —
+	// and hence the reduce below — is ordered by (shard, session id).
+	for _, w := range gp.workers {
+		w.ids = w.ids[:0]
+		w.pos = w.pos[:0]
+	}
+	for pos := 0; pos < n; pos++ {
+		i := pos
+		if ids != nil {
+			i = ids[pos]
+		}
+		w := gp.workers[gp.homes[i]]
+		w.ids = append(w.ids, gp.local[i])
+		w.pos = append(w.pos, pos)
+	}
+	for s, w := range gp.workers {
+		if len(w.ids) > 0 {
+			gp.stats.Rounds[s]++
+		}
+	}
+
+	// Every shard gets the sync (idle replicas stay current, keeping the
+	// next diff bounded); the WaitGroup is the round barrier.
+	gp.wg.Add(len(gp.workers))
+	for _, w := range gp.workers {
+		w.req <- req
+	}
+	gp.wg.Wait()
+
+	// Reduce: merge shard results back into batch order. The loop visits
+	// shards ascending and each shard's slots ascending — canonical (shard,
+	// session-id) order — so the merge is schedule-independent.
+	start := time.Now()
+	for _, w := range gp.workers {
+		for j, pos := range w.pos {
+			gp.out[pos] = w.res[j]
+		}
+	}
+	gp.stats.ReduceNanos += time.Since(start).Nanoseconds()
+
+	gp.lastStore = ls
+	gp.lastSync = ls.Epoch()
+	return gp.out[:n]
+}
+
+// Metrics returns the per-shard plane counters summed across shards.
+func (gp *Group) Metrics() overlay.Metrics {
+	var m overlay.Metrics
+	for _, w := range gp.workers {
+		m.Merge(w.runner.Metrics())
+	}
+	return m
+}
+
+// Stats returns a snapshot of the group's exchange/reduce counters.
+func (gp *Group) Stats() Stats {
+	s := gp.stats
+	s.Rounds = append([]int(nil), gp.stats.Rounds...)
+	return s
+}
+
+// Close shuts the shard goroutines down (each closes its own runner). The
+// group must not be used afterwards; Close is idempotent.
+func (gp *Group) Close() {
+	if gp.closed {
+		return
+	}
+	gp.closed = true
+	for _, w := range gp.workers {
+		close(w.req)
+	}
+}

@@ -1,0 +1,167 @@
+// Package shard partitions a solve across per-AS shards that exchange dual
+// prices over an explicit message boundary.
+//
+// The Garg–Könemann loops in internal/core are price-update loops: the only
+// state an oracle evaluation needs is the current length (dual price) of
+// every edge. That makes prices exactly the thing that can cross a partition
+// boundary — "A Distributed Algorithm for Throughput Optimal Routing in
+// Overlay Networks" (PAPERS.md) uses the same decomposition. A Group runs
+// per-AS oracle evaluation on independent shard goroutines, each owning its
+// own graph.LengthStore replica and overlay.BatchRunner (so the shared SSSP
+// plane and its dirty-source repair stay shard-local), synchronized once per
+// round by a batch of PriceMsg updates diffed from the coordinator's
+// authoritative ledger journal. The reduce back onto the solver's state is
+// performed by the coordinator in canonical (shard, session-id) order — the
+// same trick that made BatchRunner bit-identical at any worker count — so
+// outputs are bitwise identical for any shard count, including zero.
+//
+// The message boundary is deliberately narrow: shards receive only
+// ([]PriceMsg | full-resync snapshot) and return only their oracles'
+// BatchResults. A later RPC backend is a transport swap, not a rewrite.
+// First-cut honesty: the in-process transport broadcasts every touched edge
+// to every replica (cheap through shared memory); Stats counts the cut-edge
+// subset separately, since that is what a remote transport would have to
+// send to a shard that owns its interior edges authoritatively.
+package shard
+
+import "overcast/internal/graph"
+
+// Partition assigns every node of a graph to exactly one of Shards shards.
+type Partition struct {
+	Shards int
+	// Of[v] is node v's shard, in [0, Shards).
+	Of []int
+}
+
+// ByLabels partitions by grouping whole node labels (e.g. the AS ids of
+// topology.Network.ASOf): label a maps to shard a·shards/numLabels, so every
+// label's nodes land in one shard and shards hold contiguous label blocks.
+// With shards > distinct labels some shards stay empty (they idle); with
+// shards <= 0 or an empty label slice it falls back to ByRange semantics via
+// the caller. numLabels is max(labels)+1.
+func ByLabels(labels []int, shards int) Partition {
+	numLabels := 0
+	for _, a := range labels {
+		if a+1 > numLabels {
+			numLabels = a + 1
+		}
+	}
+	of := make([]int, len(labels))
+	for v, a := range labels {
+		of[v] = a * shards / numLabels
+	}
+	return Partition{Shards: shards, Of: of}
+}
+
+// ByRange partitions n nodes into contiguous near-equal ranges: node v maps
+// to shard v·shards/n. The fallback when no AS labels exist (flat Waxman
+// topologies).
+func ByRange(n, shards int) Partition {
+	of := make([]int, n)
+	for v := range of {
+		of[v] = v * shards / n
+	}
+	return Partition{Shards: shards, Of: of}
+}
+
+// Stub is one side of a cut edge as seen from a shard: the boundary
+// attachment point a remote price update applies to.
+type Stub struct {
+	Edge        graph.EdgeID
+	Local       graph.NodeID // endpoint inside this shard
+	Remote      graph.NodeID // endpoint inside RemoteShard
+	RemoteShard int
+}
+
+// Layout is a partition projected onto a concrete graph: every edge is owned
+// by exactly one shard (both endpoints inside it) or is a cut edge (Owner[e]
+// = -1) with one boundary stub per side.
+type Layout struct {
+	Part Partition
+	// Owner[e] is the shard owning edge e, or -1 for cut edges.
+	Owner []int
+	// Cut lists the cut edges in ascending EdgeID order.
+	Cut []graph.EdgeID
+	// Stubs[s] lists shard s's boundary stubs, in ascending EdgeID order.
+	Stubs [][]Stub
+}
+
+// NewLayout projects part onto g.
+func NewLayout(g *graph.Graph, part Partition) *Layout {
+	l := &Layout{
+		Part:  part,
+		Owner: make([]int, len(g.Edges)),
+		Stubs: make([][]Stub, part.Shards),
+	}
+	for e, edge := range g.Edges {
+		su, sv := part.Of[edge.U], part.Of[edge.V]
+		if su == sv {
+			l.Owner[e] = su
+			continue
+		}
+		l.Owner[e] = -1
+		l.Cut = append(l.Cut, e)
+		l.Stubs[su] = append(l.Stubs[su], Stub{Edge: e, Local: edge.U, Remote: edge.V, RemoteShard: sv})
+		l.Stubs[sv] = append(l.Stubs[sv], Stub{Edge: e, Local: edge.V, Remote: edge.U, RemoteShard: su})
+	}
+	return l
+}
+
+// PriceMsg is one dual-price update crossing the shard boundary: at ledger
+// epoch Epoch, edge CutEdge's length became Length. Absolute values (not
+// multiplicative deltas) make delivery idempotent and let a late joiner
+// resync from any snapshot; the epoch stamp orders messages and lets a
+// remote replica detect gaps. This struct is the whole wire contract of the
+// price exchange.
+type PriceMsg struct {
+	Epoch   graph.Epoch
+	CutEdge graph.EdgeID
+	Length  float64
+}
+
+// priceMsgWireBytes is the estimated encoded size of one PriceMsg (epoch +
+// edge id + length, 8 bytes each) used for the ExchangeBytes counter.
+const priceMsgWireBytes = 24
+
+// Stats aggregates a Group's price-exchange and reduce counters.
+type Stats struct {
+	// Shards is the configured shard count.
+	Shards int
+	// Rounds[s] counts the oracle-evaluation rounds shard s actually ran
+	// (rounds where at least one of its homed oracles was in the batch).
+	Rounds []int
+	// ExchangeRounds counts synchronization rounds (one per oracle batch).
+	ExchangeRounds int
+	// Msgs counts price messages applied to shard replicas; CutMsgs is the
+	// subset concerning partition-cut edges — the messages a remote
+	// transport would actually have to ship.
+	Msgs, CutMsgs int
+	// ExchangeBytes estimates the encoded size of the cut-edge traffic.
+	ExchangeBytes int64
+	// Resyncs counts full-snapshot replica rebuilds (ledger swap or journal
+	// window loss).
+	Resyncs int
+	// ReduceNanos is the time spent merging shard results back into the
+	// batch-order result slice in canonical (shard, session-id) order.
+	ReduceNanos int64
+}
+
+// Merge folds o into s (per-shard rounds add elementwise; the slice grows to
+// the larger shard count).
+func (s *Stats) Merge(o Stats) {
+	if o.Shards > s.Shards {
+		s.Shards = o.Shards
+	}
+	for len(s.Rounds) < len(o.Rounds) {
+		s.Rounds = append(s.Rounds, 0)
+	}
+	for i, r := range o.Rounds {
+		s.Rounds[i] += r
+	}
+	s.ExchangeRounds += o.ExchangeRounds
+	s.Msgs += o.Msgs
+	s.CutMsgs += o.CutMsgs
+	s.ExchangeBytes += o.ExchangeBytes
+	s.Resyncs += o.Resyncs
+	s.ReduceNanos += o.ReduceNanos
+}

@@ -1,0 +1,316 @@
+package shard_test
+
+import (
+	"testing"
+
+	"overcast/internal/graph"
+	"overcast/internal/overlay"
+	"overcast/internal/rng"
+	"overcast/internal/shard"
+	"overcast/internal/topology"
+)
+
+// TestPartitionEveryEdgeOwnedOrCut is the partition-sanity property test:
+// over a real two-level topology, for several shard counts, every node lands
+// in exactly one shard and every edge is either owned by exactly one shard
+// (both endpoints inside it) or appears exactly once in the cut set, with a
+// boundary stub on each side.
+func TestPartitionEveryEdgeOwnedOrCut(t *testing.T) {
+	net, err := topology.TwoLevel(topology.DefaultTwoLevel(6, 12), rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	for _, shards := range []int{1, 2, 4, 6} {
+		part := shard.ByLabels(net.ASOf, shards)
+		if part.Shards != shards || len(part.Of) != g.NumNodes() {
+			t.Fatalf("shards=%d: partition shape %d/%d", shards, part.Shards, len(part.Of))
+		}
+		for v, s := range part.Of {
+			if s < 0 || s >= shards {
+				t.Fatalf("shards=%d: node %d in shard %d", shards, v, s)
+			}
+		}
+		// Whole-label grouping: two nodes of one AS never split.
+		asShard := make(map[int]int)
+		for v, a := range net.ASOf {
+			if prev, ok := asShard[a]; ok && prev != part.Of[v] {
+				t.Fatalf("shards=%d: AS %d split across shards %d and %d", shards, a, prev, part.Of[v])
+			}
+			asShard[a] = part.Of[v]
+		}
+		l := shard.NewLayout(g, part)
+		inCut := make(map[graph.EdgeID]bool)
+		for i, e := range l.Cut {
+			if i > 0 && l.Cut[i-1] >= e {
+				t.Fatalf("shards=%d: cut set not ascending at %d", shards, i)
+			}
+			inCut[e] = true
+		}
+		for e, edge := range g.Edges {
+			su, sv := part.Of[edge.U], part.Of[edge.V]
+			switch owner := l.Owner[e]; {
+			case owner >= 0:
+				if inCut[e] || su != owner || sv != owner {
+					t.Fatalf("shards=%d: edge %d owner %d but endpoint shards %d/%d (cut=%v)", shards, e, owner, su, sv, inCut[e])
+				}
+			default:
+				if !inCut[e] || su == sv {
+					t.Fatalf("shards=%d: edge %d cut-marked but endpoint shards %d/%d (in cut set: %v)", shards, e, su, sv, inCut[e])
+				}
+			}
+		}
+		// Each cut edge contributes exactly one stub per side.
+		stubCount := make(map[graph.EdgeID]int)
+		for s, stubs := range l.Stubs {
+			for _, st := range stubs {
+				stubCount[st.Edge]++
+				if part.Of[st.Local] != s || part.Of[st.Remote] != st.RemoteShard || st.RemoteShard == s {
+					t.Fatalf("shards=%d: inconsistent stub %+v in shard %d", shards, st, s)
+				}
+			}
+		}
+		if len(stubCount) != len(l.Cut) {
+			t.Fatalf("shards=%d: %d stubbed edges vs %d cut edges", shards, len(stubCount), len(l.Cut))
+		}
+		for e, n := range stubCount {
+			if n != 2 {
+				t.Fatalf("shards=%d: cut edge %d has %d stubs, want 2", shards, e, n)
+			}
+		}
+	}
+	// ByRange covers the label-free fallback with the same ownership
+	// property.
+	part := shard.ByRange(g.NumNodes(), 3)
+	l := shard.NewLayout(g, part)
+	for e, edge := range g.Edges {
+		su, sv := part.Of[edge.U], part.Of[edge.V]
+		if owner := l.Owner[e]; owner >= 0 != (su == sv) {
+			t.Fatalf("ByRange: edge %d owner %d with endpoint shards %d/%d", e, owner, su, sv)
+		}
+	}
+}
+
+// boundaryFixture is a hand-built 2-shard graph whose cut set is known by
+// construction: a triangle per shard plus two cross links.
+//
+//	shard 0: 0-1, 1-2, 0-2      shard 1: 3-4, 4-5, 3-5
+//	cut:     2-3, 0-5
+func boundaryFixture(t *testing.T) (g *graph.Graph, labels []int, eid func(u, v graph.NodeID) graph.EdgeID) {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	for _, uv := range [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}, {0, 5}} {
+		if err := b.AddEdge(uv[0], uv[1], 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g = b.Build()
+	eid = func(u, v graph.NodeID) graph.EdgeID {
+		for e, edge := range g.Edges {
+			if (edge.U == u && edge.V == v) || (edge.U == v && edge.V == u) {
+				return e
+			}
+		}
+		t.Fatalf("no edge %d-%d", u, v)
+		return -1
+	}
+	return g, []int{0, 0, 0, 1, 1, 1}, eid
+}
+
+func fixtureOracles(t *testing.T, g *graph.Graph) []overlay.TreeOracle {
+	t.Helper()
+	var oracles []overlay.TreeOracle
+	for i, members := range [][]graph.NodeID{{0, 1, 2}, {3, 4, 5}, {1, 4}} {
+		s, err := overlay.NewSession(i, members, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := overlay.NewArbitraryOracle(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+	return oracles
+}
+
+// TestPriceExchangeGoldenSequence pins the cut-edge message sequence for a
+// fixed script of ledger mutations: messages carry the authoritative
+// last-touch epoch and the absolute length, deduplicated to final values in
+// first-touch order, and only boundary-crossing edges reach the trace. The
+// fixture's lengths are exactly representable, so the expectations are exact
+// float64 bits, not tolerances.
+func TestPriceExchangeGoldenSequence(t *testing.T) {
+	g, labels, eid := boundaryFixture(t)
+	oracles := fixtureOracles(t, g)
+	var trace []shard.PriceMsg
+	gp := shard.NewGroup(g, oracles, shard.Options{
+		Shards: 2, Labels: labels, Workers: 1, SharedPlane: true,
+		Trace: func(m shard.PriceMsg) { trace = append(trace, m) },
+	})
+	defer gp.Close()
+	e01, e23, e05 := eid(0, 1), eid(2, 3), eid(0, 5)
+	ls := graph.NewLengthStore(g, 1)
+
+	// Round 1 is a full snapshot resync: nothing crosses as messages.
+	gp.MinTreesLen(ls, nil)
+	if len(trace) != 0 {
+		t.Fatalf("round 1: expected snapshot resync, traced %v", trace)
+	}
+	if st := gp.Stats(); st.Resyncs != 2 || st.ExchangeRounds != 1 {
+		t.Fatalf("round 1 stats: %+v", st)
+	}
+
+	// Scripted mutations: e23 touched twice (must dedupe to its final value
+	// and last epoch), e01 is shard-0-interior (never traced), e05 once.
+	ls.Bump(e23, 1.5)  // epoch 1
+	ls.Bump(e01, 2)    // epoch 2
+	ls.Bump(e05, 1.25) // epoch 3
+	ls.Bump(e23, 2)    // epoch 4: e23 = 3.0
+	gp.MinTrees(ls, nil)
+	want := []shard.PriceMsg{
+		{Epoch: 4, CutEdge: e23, Length: 3.0},
+		{Epoch: 3, CutEdge: e05, Length: 1.25},
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("round 2: traced %v, want %v", trace, want)
+	}
+	for i, m := range want {
+		if trace[i] != m {
+			t.Fatalf("round 2 msg %d: got %+v, want %+v", i, trace[i], m)
+		}
+	}
+
+	// A shrink crosses as its absolute value too (replicas detect the
+	// shrink themselves via Raise).
+	trace = trace[:0]
+	ls.Set(e05, 0.5) // epoch 5
+	gp.MinTrees(ls, nil)
+	if len(trace) != 1 || trace[0] != (shard.PriceMsg{Epoch: 5, CutEdge: e05, Length: 0.5}) {
+		t.Fatalf("round 3: traced %v", trace)
+	}
+
+	st := gp.Stats()
+	if st.Shards != 2 || len(st.Rounds) != 2 {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	// Rounds 1–3 all evaluate both shards' oracles.
+	if st.Rounds[0] != 3 || st.Rounds[1] != 3 {
+		t.Fatalf("per-shard rounds: %+v", st.Rounds)
+	}
+	// Round 2 delivered 3 msgs (2 cut) to each of 2 replicas; round 3 one
+	// cut msg to each.
+	if st.Msgs != 8 || st.CutMsgs != 6 || st.ExchangeBytes != 6*24 {
+		t.Fatalf("exchange counters: %+v", st)
+	}
+}
+
+// TestGroupMatchesBatchRunner drives the same mutation/evaluation script
+// through a sharded Group and a plain BatchRunner and requires bitwise equal
+// results — trees and raw lengths — every round, including after a
+// non-monotone mutation and a partial-batch round.
+func TestGroupMatchesBatchRunner(t *testing.T) {
+	net, err := topology.TwoLevel(topology.DefaultTwoLevel(4, 8), rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph
+	r := rng.New(5)
+	perm := r.Perm(g.NumNodes())
+	var oracles []overlay.TreeOracle
+	for i, span := range [][2]int{{0, 4}, {4, 7}, {7, 12}, {12, 14}, {14, 18}} {
+		s, err := overlay.NewSession(i, perm[span[0]:span[1]], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := overlay.NewArbitraryOracle(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles = append(oracles, o)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		gp := shard.NewGroup(g, oracles, shard.Options{
+			Shards: shards, Labels: net.ASOf, Workers: 2, SharedPlane: true,
+		})
+		ref := overlay.NewBatchRunnerOpts(g, oracles, overlay.BatchOptions{Workers: 1, SharedPlane: true})
+		ls := graph.NewLengthStore(g, 1)
+		mut := rng.New(101)
+		for round := 0; round < 12; round++ {
+			var ids []int
+			if round%3 == 2 {
+				ids = []int{0, 2, 4}
+			}
+			got := gp.MinTreesLen(ls, ids)
+			wantRes := ref.MinTreesLen(ls, ids)
+			if len(got) != len(wantRes) {
+				t.Fatalf("shards=%d round %d: %d results vs %d", shards, round, len(got), len(wantRes))
+			}
+			for pos := range got {
+				if got[pos].Err != nil || wantRes[pos].Err != nil {
+					t.Fatalf("shards=%d round %d pos %d: errs %v / %v", shards, round, pos, got[pos].Err, wantRes[pos].Err)
+				}
+				if got[pos].Tree.Key() != wantRes[pos].Tree.Key() {
+					t.Fatalf("shards=%d round %d pos %d: trees differ", shards, round, pos)
+				}
+				if got[pos].Len != wantRes[pos].Len {
+					t.Fatalf("shards=%d round %d pos %d: len %.17g != %.17g", shards, round, pos, got[pos].Len, wantRes[pos].Len)
+				}
+			}
+			// Mutate a few random edges; round 7 injects a shrink so the
+			// replicas must survive a non-monotone window.
+			for j := 0; j < 5; j++ {
+				e := mut.Intn(g.NumEdges())
+				ls.Bump(e, 1+0.25*mut.Float64())
+			}
+			if round == 7 {
+				ls.Set(mut.Intn(g.NumEdges()), 0.75)
+			}
+		}
+		st := gp.Stats()
+		if st.ExchangeRounds != 12 || st.Msgs == 0 {
+			t.Fatalf("shards=%d: exchange stats %+v", shards, st)
+		}
+		gp.Close()
+		ref.Close()
+	}
+}
+
+// TestGroupDynamicAddOracle covers the warm-allocator path: a Dynamic group
+// that grows its oracle set between batches must keep matching the plain
+// runner.
+func TestGroupDynamicAddOracle(t *testing.T) {
+	g, labels, _ := boundaryFixture(t)
+	oracles := fixtureOracles(t, g)
+	gp := shard.NewGroup(g, oracles[:1], shard.Options{
+		Shards: 2, Labels: labels, Workers: 2, SharedPlane: true, Dynamic: true,
+	})
+	defer gp.Close()
+	ref := overlay.NewBatchRunnerOpts(g, oracles[:1], overlay.BatchOptions{Workers: 1, SharedPlane: true, Dynamic: true})
+	defer ref.Close()
+	ls := graph.NewLengthStore(g, 1)
+	check := func(round int) {
+		t.Helper()
+		got, wantRes := gp.MinTreesLen(ls, nil), ref.MinTreesLen(ls, nil)
+		if len(got) != len(wantRes) {
+			t.Fatalf("round %d: %d vs %d results", round, len(got), len(wantRes))
+		}
+		for pos := range got {
+			if got[pos].Tree.Key() != wantRes[pos].Tree.Key() || got[pos].Len != wantRes[pos].Len {
+				t.Fatalf("round %d pos %d: mismatch", round, pos)
+			}
+		}
+	}
+	check(0)
+	if id := gp.AddOracle(oracles[1]); id != 1 {
+		t.Fatalf("AddOracle id %d, want 1", id)
+	}
+	ref.AddOracle(oracles[1])
+	ls.Bump(0, 1.5)
+	check(1)
+	if id := gp.AddOracle(oracles[2]); id != 2 {
+		t.Fatalf("AddOracle id %d, want 2", id)
+	}
+	ref.AddOracle(oracles[2])
+	check(2)
+}
