@@ -53,11 +53,12 @@ bench-smoke:
 
 # Large-instance scale tier: solver benches (1,000-10,000 nodes, per-scenario
 # instances), the Waxman topology-generation benches, the Allocator v2
-# warm-start churn acceptance pair, and the overcastd admin-socket churn
-# replay. Takes minutes at default -benchtime; CI passes
+# warm-start churn acceptance pair, the overcastd admin-socket churn
+# replay, and the fault-churn damping pair (flap suppression vs the raw
+# trace). Takes minutes at default -benchtime; CI passes
 # BENCHFLAGS="-short -benchtime 1x".
 bench-scale:
-	$(GO) test -run '^$$' -bench 'BenchmarkScale|BenchmarkWaxman|BenchmarkChurnWarmStart|BenchmarkDaemonChurn' -benchmem -timeout 3600s $(BENCHFLAGS) . ./internal/topology/
+	$(GO) test -run '^$$' -bench 'BenchmarkScale|BenchmarkWaxman|BenchmarkChurnWarmStart|BenchmarkDaemonChurn|BenchmarkFaultChurn' -benchmem -timeout 3600s $(BENCHFLAGS) . ./internal/topology/
 
 # Refresh the committed perf-trajectory baseline: run the scale tier the way
 # CI does, rewrite BENCH_scale.json, and print the old-vs-new comparison.

@@ -8,6 +8,7 @@ import (
 	"overcast/internal/graph"
 	"overcast/internal/overlay"
 	"overcast/internal/routing"
+	"overcast/internal/underlay"
 )
 
 // SessionID is an opaque handle for a session admitted by an Allocator. The
@@ -130,6 +131,11 @@ type PlaneStats struct {
 	Repaired, Skipped, Seeded int
 	// TreeHits counts whole oracle evaluations served from the tree cache.
 	TreeHits int
+	// NonMonotoneRefills counts rows degraded from the skip/repair fast path
+	// to a full refill because a length shrink (an underlay recovery or
+	// downward drift mirrored into the length ledger) made the cached content
+	// unprovable.
+	NonMonotoneRefills int
 }
 
 // Dedup returns Requests/Sources, the average number of member reads served
@@ -179,6 +185,11 @@ type ShardStats struct {
 	ExchangeBytes int64
 	// Resyncs counts full-snapshot replica rebuilds.
 	Resyncs int
+	// FaultResyncs is the subset of Resyncs forced by journal window loss: a
+	// mutation burst (e.g. an underlay fault sweep) outran the ledger journal
+	// between exchange rounds, so the diff was unreplayable and replicas were
+	// rebuilt from full snapshots.
+	FaultResyncs int
 	// ReduceTime is the time spent merging shard results back into
 	// canonical (shard, session-id) order.
 	ReduceTime time.Duration
@@ -201,6 +212,10 @@ type AllocatorStats struct {
 	// MSTOps counts spanning-tree computations across joins, anchors and
 	// repair (the paper's running-time unit).
 	MSTOps int
+	// UnderlayEvents counts underlay fault mutations (link failure/recovery,
+	// capacity drift) applied through Fault. Each one latches a cold re-solve
+	// for the next Snapshot/Rebalance.
+	UnderlayEvents int
 	// Plane aggregates the shared-SSSP-plane counters across anchors, warm
 	// repair, and online joins.
 	Plane PlaneStats
@@ -227,6 +242,7 @@ type Allocator struct {
 	weights graph.Lengths
 	online  *core.Online
 	warm    *core.Warm
+	faults  *underlay.State // lazily created on the first Fault
 	nextID  int
 	demands []float64
 	epoch   uint64
@@ -440,6 +456,92 @@ func (a *Allocator) Rebalance() ([]Placement, error) {
 	return out, nil
 }
 
+// FaultKind selects the underlay mutation a LinkFault applies.
+type FaultKind int
+
+const (
+	// FaultLinkDown fails a link: its capacity collapses to a vanishing
+	// fraction of the healthy value (it stays routable at effectively zero
+	// rate, keeping dual prices finite). Overlapping failures nest: a link
+	// downed twice needs two recoveries.
+	FaultLinkDown FaultKind = iota
+	// FaultLinkUp recovers a previously failed link, restoring the capacity
+	// implied by its healthy base and accumulated drift. Recovering a healthy
+	// link is a no-op.
+	FaultLinkUp
+	// FaultDrift multiplies the link's healthy capacity by Factor (> 0),
+	// modelling available-bandwidth drift. Drift composes with failures: it
+	// adjusts the capacity the next recovery restores.
+	FaultDrift
+)
+
+// String names the kind for logs.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkDown:
+		return "link-down"
+	case FaultLinkUp:
+		return "link-up"
+	case FaultDrift:
+		return "drift"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// LinkFault is one underlay fault event addressed by physical link endpoints.
+type LinkFault struct {
+	// From and To name the link's endpoint nodes (order-insensitive).
+	From, To int
+	// Kind selects the mutation; Factor is only read for FaultDrift.
+	Kind   FaultKind
+	Factor float64
+}
+
+// Fault applies an underlay fault to the network and returns the link's
+// resulting capacity. The capacity change is mirrored onto the live length
+// ledger (capacity and dual price move inversely: a failure is a monotone
+// price growth, a recovery a non-monotone shrink, which downstream consumers
+// detect via the ledger's monotonicity tracking), and the next
+// Snapshot/Rebalance re-solves from cold — fault arithmetic invalidates the
+// warm anchor. A redundant event (recovering a healthy link) still returns
+// the current capacity but mutates nothing. Unknown links are errors.
+func (a *Allocator) Fault(f LinkFault) (float64, error) {
+	if a.closed {
+		return 0, fmt.Errorf("overcast: allocator is closed")
+	}
+	g := a.net.inner.Graph
+	e, ok := g.EdgeBetween(f.From, f.To)
+	if !ok {
+		return 0, fmt.Errorf("overcast: no link between nodes %d and %d", f.From, f.To)
+	}
+	ev := underlay.Event{Edge: e}
+	switch f.Kind {
+	case FaultLinkDown:
+		ev.Kind = underlay.LinkDown
+	case FaultLinkUp:
+		ev.Kind = underlay.LinkUp
+	case FaultDrift:
+		if f.Factor <= 0 {
+			return 0, fmt.Errorf("overcast: drift factor %v must be positive", f.Factor)
+		}
+		ev.Kind, ev.Factor = underlay.Drift, f.Factor
+	default:
+		return 0, fmt.Errorf("overcast: unknown fault kind %d", int(f.Kind))
+	}
+	if a.faults == nil {
+		a.faults = underlay.NewState(g)
+	}
+	factor, changed := a.faults.Apply(ev)
+	if !changed {
+		return g.Edges[e].Capacity, nil
+	}
+	if err := a.warm.Fault(e, factor); err != nil {
+		return 0, err
+	}
+	a.epoch++
+	return g.Edges[e].Capacity, nil
+}
+
 // OnlineAllocation produces the exactly feasible allocation implied by the
 // online trees alone (each session scaled by its own maximum congestion) —
 // the deprecated OnlineAllocator.Finalize view, kept for wrapper
@@ -480,21 +582,24 @@ func (a *Allocator) Stats() AllocatorStats {
 	return AllocatorStats{
 		Joins: ws.Joins, Leaves: ws.Leaves,
 		ColdSolves: ws.ColdSolves, WarmRefreshes: ws.WarmRefreshes,
-		WarmFallbacks: ws.WarmFallbacks,
-		RepairPhases:  ws.RepairPhases,
-		MSTOps:        ws.MSTOps + a.online.MSTOps(),
+		WarmFallbacks:  ws.WarmFallbacks,
+		RepairPhases:   ws.RepairPhases,
+		MSTOps:         ws.MSTOps + a.online.MSTOps(),
+		UnderlayEvents: ws.UnderlayEvents,
 		Plane: PlaneStats{
 			Rounds: ws.Plane.PlaneRounds, Sources: ws.Plane.PlaneSources,
 			Requests: ws.Plane.PlaneRequests, Repaired: ws.Plane.PlaneRepaired,
 			Skipped: ws.Plane.PlaneSkipped, Seeded: ws.Plane.PlaneSeeded,
-			TreeHits: ws.Plane.PlaneTreeHits,
+			TreeHits:           ws.Plane.PlaneTreeHits,
+			NonMonotoneRefills: ws.Plane.PlaneNonMonotone,
 		},
 		Shards: ShardStats{
 			Shards: ws.Shards.Shards, Rounds: append([]int(nil), ws.Shards.Rounds...),
 			ExchangeRounds: ws.Shards.ExchangeRounds,
 			Msgs:           ws.Shards.Msgs, CutMsgs: ws.Shards.CutMsgs,
 			ExchangeBytes: ws.Shards.ExchangeBytes, Resyncs: ws.Shards.Resyncs,
-			ReduceTime: time.Duration(ws.Shards.ReduceNanos),
+			FaultResyncs: ws.Shards.FaultResyncs,
+			ReduceTime:   time.Duration(ws.Shards.ReduceNanos),
 		},
 	}
 }

@@ -352,3 +352,95 @@ func TestWarmChurnReplayQualityAndDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestAllocatorFaultSurface covers the public underlay-fault entry point:
+// fail → capacity collapse and cold re-solve, recover → exact restore, drift
+// composition, no-op and error contracts, and the new stats counters.
+func TestAllocatorFaultSurface(t *testing.T) {
+	a, err := overcast.NewAllocator(testAllocNet(t, 3), overcast.AllocatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for _, s := range allocTestSessions {
+		if _, err := a.Join(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.ColdSolves != 1 || st.UnderlayEvents != 0 {
+		t.Fatalf("pre-fault stats: %+v", st)
+	}
+
+	// The incremental Waxman generator always connects node 1 to node 0, so
+	// link (0,1) exists in every network.
+	healthy, err := a.Fault(overcast.LinkFault{From: 0, To: 1, Kind: overcast.FaultLinkUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy <= 0 {
+		t.Fatalf("healthy capacity %v", healthy)
+	}
+	// Recovering a healthy link is a no-op: no event counted, no epoch bump.
+	if st := a.Stats(); st.UnderlayEvents != 0 {
+		t.Fatalf("no-op recovery counted an underlay event: %+v", st)
+	}
+
+	epoch := a.Epoch()
+	downCap, err := a.Fault(overcast.LinkFault{From: 0, To: 1, Kind: overcast.FaultLinkDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if downCap >= healthy/1000 {
+		t.Fatalf("failed link capacity %v did not collapse from %v", downCap, healthy)
+	}
+	if a.Epoch() != epoch+1 {
+		t.Fatalf("fault must advance the allocator epoch: %d -> %d", epoch, a.Epoch())
+	}
+	if _, err := a.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.UnderlayEvents != 1 {
+		t.Fatalf("UnderlayEvents = %d, want 1", st.UnderlayEvents)
+	}
+	if st.ColdSolves != 2 || st.WarmRefreshes != 0 {
+		t.Fatalf("post-fault snapshot must re-solve cold: %+v", st)
+	}
+
+	// Drift composes with the failure, and recovery restores base*drift
+	// exactly.
+	if _, err := a.Fault(overcast.LinkFault{From: 0, To: 1, Kind: overcast.FaultDrift, Factor: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := a.Fault(overcast.LinkFault{From: 0, To: 1, Kind: overcast.FaultLinkUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := healthy * 0.5; math.Abs(recovered/want-1) > 1e-12 {
+		t.Fatalf("recovered capacity %v, want %v (healthy %v x drift 0.5)", recovered, want, healthy)
+	}
+	if _, err := a.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.UnderlayEvents != 3 || st.ColdSolves != 3 {
+		t.Fatalf("post-recovery stats: %+v", st)
+	}
+
+	// Error contracts: unknown link, bad drift factor, closed allocator.
+	if _, err := a.Fault(overcast.LinkFault{From: 0, To: 0, Kind: overcast.FaultLinkDown}); err == nil {
+		t.Fatal("fault on a nonexistent link must fail")
+	}
+	if _, err := a.Fault(overcast.LinkFault{From: 0, To: 1, Kind: overcast.FaultDrift, Factor: -1}); err == nil {
+		t.Fatal("non-positive drift factor must fail")
+	}
+	if _, err := a.Fault(overcast.LinkFault{From: 0, To: 1, Kind: overcast.FaultKind(99)}); err == nil {
+		t.Fatal("unknown fault kind must fail")
+	}
+	a.Close()
+	if _, err := a.Fault(overcast.LinkFault{From: 0, To: 1, Kind: overcast.FaultLinkDown}); err == nil {
+		t.Fatal("fault on a closed allocator must fail")
+	}
+}

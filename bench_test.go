@@ -748,6 +748,50 @@ func BenchmarkDaemonChurn(b *testing.B) {
 	b.ReportMetric(ops/float64(b.N), "ops/s")
 }
 
+// BenchmarkFaultChurn is the robustness acceptance pair: the same churn
+// trace interleaved with a hard-oscillating link flap trace, replayed
+// through the public Fault surface raw and through the route-flap damper.
+// Each effective fault latches the next refresh onto the cold path, so the
+// coldsolves metric is the repair bill the flaps extract — the damped row
+// must pay no more of it than the undamped row (the suppression bound the
+// README documents), and the suppressed metric shows the damper actually
+// held recoveries rather than passing the trace through.
+func BenchmarkFaultChurn(b *testing.B) {
+	cfg := experiments.FaultChurnConfig{
+		Nodes: 64, ArrivalRate: 1.5, MeanLifetime: 5, Horizon: 10,
+		FaultEdges: 6, FailRate: 3, MeanRepair: 0.2,
+	}
+	for _, mode := range []string{"undamped", "damped"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var cold, suppressed, events float64
+			for i := 0; i < b.N; i++ {
+				run := cfg
+				run.Damped = mode == "damped"
+				rep, err := experiments.FaultChurnRun(2004, run)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.TraceFaults == 0 || rep.Snapshots == 0 || rep.Throughput <= 0 {
+					b.Fatalf("degenerate replay: %+v", rep)
+				}
+				if mode == "undamped" && rep.UnderlayEvents == 0 {
+					b.Fatal("undamped replay applied no effective fault events")
+				}
+				if mode == "damped" && rep.Suppressed == 0 {
+					b.Fatal("damper suppressed nothing under a hard oscillation")
+				}
+				cold += float64(rep.ColdSolves)
+				suppressed += float64(rep.Suppressed)
+				events += float64(rep.UnderlayEvents)
+			}
+			b.ReportMetric(cold/float64(b.N), "coldsolves")
+			b.ReportMetric(suppressed/float64(b.N), "suppressed")
+			b.ReportMetric(events/float64(b.N), "events")
+		})
+	}
+}
+
 // --- Cross-round repair sweeps ----------------------------------------------
 //
 // The BenchmarkScalePlaneRepair* benches measure the length-ledger-driven

@@ -15,9 +15,12 @@
 // modes, grid-Waxman workload-scenario instances (heterogeneous
 // capacities/demands, Zipf membership), a scenario-driven online/churn
 // replay, a Zipf-hot arbitrary-routing instance where the plane serves
-// most per-member Dijkstra reads, and the v2 Allocator's warm-start churn
+// most per-member Dijkstra reads, the v2 Allocator's warm-start churn
 // path (anchor / warm-join / warm-leave snapshots, a rebalance, the
-// deprecated v1 wrapper, and an end-to-end churn replay).
+// deprecated v1 wrapper, and an end-to-end churn replay), and a seeded
+// underlay fault-trace replay whose non-monotone capacity shrinks force
+// the plane's full-refill degradation and the shard group's snapshot
+// resyncs — the degraded paths must stay bit-identical too.
 package main
 
 import (
@@ -299,4 +302,29 @@ func main() {
 	fmt.Printf("warmchurn replay sessions=%d peak=%d snaps=%d warm=%d cold=%d repair=%d mstops=%d active=%d thpt=%.17g minrate=%.17g\n",
 		wrep.Sessions, wrep.PeakConcurrency, wrep.Snapshots, wrep.WarmRefreshes, wrep.ColdSolves,
 		wrep.RepairPhases, wrep.MSTOps, wrep.FinalActive, wrep.Throughput, wrep.MinRate)
+
+	// Fault-trace replay: a seeded underlay fault scenario (link-down growth,
+	// recovery shrink, capacity drift, and a journal-flooding fault storm)
+	// replayed through the persistent-ledger runner path. The non-monotone
+	// shrinks degrade plane rows to full refills and the storm forces sharded
+	// replicas onto snapshot resyncs, and those degradation paths must stay
+	// bit-identical to the never-degraded code shape. The fingerprint hashes
+	// tree identities, lengths, and the final ledger only — the robustness
+	// counters are toggle-dependent by design and excluded.
+	for _, fc := range []experiments.FaultSolveConfig{
+		{Nodes: 48, Sessions: 4, SessionSize: 4, TwoLevelASes: 4,
+			Rounds: 8, FailRound: 2, RecoverRound: 4, DriftRound: 5, FaultStorm: true},
+		{Nodes: 72, Sessions: 5, Rounds: 9, DriftFactor: 0.4},
+	} {
+		fc.Workers = *workers
+		fc.Shards = *shards
+		fc.DisablePlane = disablePlane
+		fc.DisableRepair = disableRepair
+		frep, err := experiments.FaultSolveRun(2032, fc)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("fault nodes=%d ases=%d edges=%d rounds=%d events=%d fp=%s\n",
+			fc.Nodes, fc.TwoLevelASes, frep.Edges, frep.Rounds, frep.UnderlayEvents, frep.Fingerprint)
+	}
 }

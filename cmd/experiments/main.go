@@ -10,7 +10,7 @@
 // where each exp is one of table2, fig2, table4, fig3, fig4, fig5, fig6,
 // table7, fig7, table8, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
 // fig15, fig16, fig17, fig18, fig19, scale, churn, warmchurn, daemonchurn,
-// report, or "all". With no
+// faultchurn, report, or "all". With no
 // arguments the Setting-A experiments (table2..fig11) run; with -scale
 // large the scale tier runs.
 //
@@ -46,6 +46,15 @@
 //
 //	experiments warmchurn
 //	experiments -nodes 400 -workers 8 warmchurn
+//
+// The faultchurn experiment replays the same kind of churn trace
+// interleaved with a seeded link flap trace (Poisson failures, exponential
+// repairs) through the v2 Allocator's public Fault surface — once raw and
+// once filtered through the route-flap damper — and prints both rows plus
+// the damper's suppression bound on fault-forced cold re-solves:
+//
+//	experiments faultchurn
+//	experiments -nodes 600 -workers 8 faultchurn
 //
 // The daemonchurn experiment boots an in-process overcastd admin server on
 // a unix socket and replays the same kind of trace through a concurrent
@@ -128,7 +137,7 @@ func main() {
 		exps = []string{"table2", "fig2", "table4", "fig3", "fig4", "fig5", "fig6",
 			"table7", "fig7", "table8", "fig8", "fig9", "fig10", "fig11",
 			"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-			"scale", "churn", "warmchurn", "daemonchurn", "report"}
+			"scale", "churn", "warmchurn", "daemonchurn", "faultchurn", "report"}
 	}
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
@@ -544,6 +553,30 @@ func (r *runner) run(exp string) error {
 		if q := experiments.WarmQuality(warm, cold); q > 0 {
 			fmt.Printf("warm-start mean snapshot quality: %.4f of cold throughput (FPTAS band >= %.4f)\n",
 				q, 1/(1+warm.Config.Epsilon))
+		}
+	case "faultchurn":
+		nodes := r.nodes
+		if nodes == 0 {
+			nodes = 120
+			if r.scale == "paper" || r.scale == "large" {
+				nodes = 600
+			}
+		}
+		cfg := experiments.FaultChurnConfig{
+			Nodes: nodes, Workers: r.workers, Shards: r.shards,
+		}
+		undamped, damped, err := experiments.FaultChurnPair(r.seed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fault-churn tier: session churn under underlay link flaps (raw vs flap-damped)")
+		fmt.Println(undamped.String())
+		fmt.Println(damped.String())
+		if undamped.ColdSolves > 0 {
+			fmt.Printf("flap damping: %d/%d fault events suppressed, cold re-solves %d -> %d (%.2fx)\n",
+				damped.Suppressed, undamped.TraceFaults,
+				undamped.ColdSolves, damped.ColdSolves,
+				float64(undamped.ColdSolves)/float64(max(damped.ColdSolves, 1)))
 		}
 	case "daemonchurn":
 		nodes := r.nodes

@@ -15,6 +15,7 @@
 //	stats                          print allocator + daemon counters (JSON)
 //	metrics                        print Prometheus text exposition
 //	watch [-heartbeat DUR] [-events N]   stream allocation events per epoch change
+//	fault link-down|link-up|drift -u A -v B [-factor F]   inject an underlay fault
 //	drain                          graceful daemon shutdown
 //
 // Exit status is 0 on success, 1 on an RPC rejection or transport error.
@@ -38,7 +39,7 @@ func main() {
 	wait := flag.Duration("wait", 0, "retry the initial connect for this long (for racing daemon startup)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "overcastctl: no command (ping|join|leave|rebalance|snapshot|stats|metrics|watch|drain)")
+		fmt.Fprintln(os.Stderr, "overcastctl: no command (ping|join|leave|rebalance|snapshot|stats|metrics|watch|fault|drain)")
 		os.Exit(2)
 	}
 	if err := run(*socket, *wait, flag.Args()); err != nil {
@@ -166,6 +167,35 @@ func run(socket string, wait time.Duration, args []string) error {
 				return nil
 			}
 		}
+	case "fault":
+		if len(rest) == 0 {
+			return fmt.Errorf("fault needs a kind (link-down|link-up|drift)")
+		}
+		var kind string
+		switch rest[0] {
+		case "link-down":
+			kind = admin.FaultLinkDown
+		case "link-up":
+			kind = admin.FaultLinkUp
+		case "drift":
+			kind = admin.FaultDrift
+		default:
+			return fmt.Errorf("unknown fault kind %q (link-down|link-up|drift)", rest[0])
+		}
+		fs := flag.NewFlagSet("fault", flag.ExitOnError)
+		u := fs.Int("u", -1, "one endpoint node of the physical link")
+		v := fs.Int("v", -1, "the other endpoint node")
+		factor := fs.Float64("factor", 0, "capacity multiplier (drift only, > 0)")
+		fs.Parse(rest[1:])
+		if *u < 0 || *v < 0 {
+			return fmt.Errorf("fault needs -u and -v link endpoints")
+		}
+		res, err := c.Fault(*u, *v, kind, *factor)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fault %s link %d-%d: capacity %.6g, epoch %d, %d underlay events\n",
+			res.Kind, res.From, res.To, res.Capacity, res.Epoch, res.UnderlayEvents)
 	case "drain":
 		res, err := c.Drain()
 		if err != nil {
@@ -173,7 +203,7 @@ func run(socket string, wait time.Duration, args []string) error {
 		}
 		fmt.Printf("draining, %d active sessions will be persisted\n", res.Active)
 	default:
-		return fmt.Errorf("unknown command %q (ping|join|leave|rebalance|snapshot|stats|metrics|watch|drain)", cmd)
+		return fmt.Errorf("unknown command %q (ping|join|leave|rebalance|snapshot|stats|metrics|watch|fault|drain)", cmd)
 	}
 	return nil
 }

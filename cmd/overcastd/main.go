@@ -1,6 +1,6 @@
 // Command overcastd is the long-running allocator daemon: it owns a root
 // overcast.Allocator over a generated (or custom-seeded) topology and serves
-// Join/Leave/Rebalance/Snapshot/Stats over a local unix admin socket
+// Join/Leave/Rebalance/Snapshot/Fault/Stats over a local unix admin socket
 // (newline-delimited JSON RPC, protocol v1 — see internal/admin).
 //
 // The daemon adds what the library cannot: serialized mutation with
@@ -21,7 +21,11 @@
 //	          [-strict-admission] [-drain-timeout DUR]
 //
 // Drive it with cmd/overcastctl (ping, join, leave, rebalance, snapshot,
-// stats, metrics, drain) speaking the same protocol.
+// stats, metrics, fault, drain) speaking the same protocol. The fault op
+// injects underlay events (link-down/link-up/drift) into the live allocator;
+// each effective fault advances the epoch and fans one frame out to watch
+// streams. Fault state lives in the allocator only — it is NOT persisted in
+// state snapshots, so a restarted daemon starts from healthy capacities.
 package main
 
 import (

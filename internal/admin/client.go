@@ -152,6 +152,22 @@ func (c *Client) Snapshot(refresh bool) (*SnapshotResult, error) {
 	return resp.Snapshot, nil
 }
 
+// Fault injects one underlay fault event: kind is one of the Fault* wire
+// constants ("link-down", "link-up", "drift"); factor is the capacity
+// multiplier and only meaningful for drifts. An effective fault advances the
+// allocator epoch (watch streams see one frame); redundant events (link-up on
+// a healthy link) are acknowledged no-ops.
+func (c *Client) Fault(from, to int, kind string, factor float64) (*FaultResult, error) {
+	resp, err := c.do(&Request{Op: OpFault, Fault: &FaultParams{From: from, To: to, Kind: kind, Factor: factor}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Fault == nil {
+		return nil, missing(OpFault)
+	}
+	return resp.Fault, nil
+}
+
 // Stats reads the allocator and daemon counters.
 func (c *Client) Stats() (*StatsResult, error) {
 	resp, err := c.do(&Request{Op: OpStats})

@@ -55,6 +55,10 @@ func PrometheusText(st *StatsResult) string {
 	counter("overcastd_shard_resyncs_total", "Full ledger-snapshot resyncs (journal window lost or ledger swapped).", float64(sh.Resyncs))
 	counter("overcastd_shard_reduce_seconds_total", "Time spent in the coordinator's sequential reduce.", sh.ReduceTime.Seconds())
 
+	counter("overcastd_underlay_events_total", "Effective underlay fault events applied (link down/up, capacity drift).", float64(a.UnderlayEvents))
+	counter("overcastd_plane_nonmonotone_refills_total", "Plane rows degraded from skip/repair to full refill by non-monotone length moves.", float64(p.NonMonotoneRefills))
+	counter("overcastd_shard_fault_resyncs_total", "Shard snapshot resyncs forced by fault bursts exceeding the ledger journal window.", float64(sh.FaultResyncs))
+
 	d := st.Daemon
 	counter("overcastd_admission_rejected_total", "Joins refused by the admission policy.", float64(d.AdmissionRejected))
 	counter("overcastd_state_snapshots_saved_total", "State snapshots persisted to disk.", float64(d.SnapshotsSaved))

@@ -58,6 +58,12 @@ const (
 	// OpDrain asks the daemon to shut down gracefully: stop accepting work,
 	// persist a final state snapshot, and exit.
 	OpDrain = "drain"
+	// OpFault injects an underlay fault — link failure, link recovery, or
+	// capacity drift — into the daemon's network (params in Request.Fault).
+	// The capacity change propagates to the allocator's length ledger and the
+	// next refresh re-solves from cold; an effective fault advances the
+	// allocator epoch, so watch streams see one frame per fault.
+	OpFault = "fault"
 	// OpWatch converts the connection into a one-way event stream: the
 	// server immediately pushes the current epoch and materialized
 	// allocation, then one frame per allocator-epoch change (params in
@@ -108,6 +114,7 @@ type Request struct {
 	Join     *JoinParams     `json:"join,omitempty"`
 	Leave    *LeaveParams    `json:"leave,omitempty"`
 	Snapshot *SnapshotParams `json:"snapshot,omitempty"`
+	Fault    *FaultParams    `json:"fault,omitempty"`
 	Watch    *WatchParams    `json:"watch,omitempty"`
 }
 
@@ -123,6 +130,45 @@ type JoinParams struct {
 type LeaveParams struct {
 	// Session is the daemon-issued token from the join response.
 	Session uint64 `json:"session"`
+}
+
+// Fault kinds (FaultParams.Kind).
+const (
+	// FaultLinkDown fails a link: its capacity collapses to a vanishing
+	// fraction of the healthy value. Overlapping failures nest.
+	FaultLinkDown = "link-down"
+	// FaultLinkUp recovers a failed link (no-op on a healthy one).
+	FaultLinkUp = "link-up"
+	// FaultDrift multiplies the link's healthy capacity by Factor.
+	FaultDrift = "drift"
+)
+
+// FaultParams injects one underlay fault.
+type FaultParams struct {
+	// From and To name the physical link's endpoint nodes
+	// (order-insensitive).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Kind selects the mutation (the Fault* constants).
+	Kind string `json:"kind"`
+	// Factor is the capacity multiplier for drift faults (> 0); ignored for
+	// link-down/link-up.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// FaultResult reports the applied fault.
+type FaultResult struct {
+	// From/To/Kind echo the request.
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Kind string `json:"kind"`
+	// Capacity is the link's capacity after the fault.
+	Capacity float64 `json:"capacity"`
+	// Epoch is the allocator epoch after the fault (unchanged when the fault
+	// was a no-op, e.g. recovering a healthy link).
+	Epoch uint64 `json:"epoch"`
+	// UnderlayEvents is the allocator's cumulative effective-fault count.
+	UnderlayEvents int `json:"underlay_events"`
 }
 
 // SnapshotParams controls a snapshot read.
@@ -186,6 +232,7 @@ type Response struct {
 	Stats     *StatsResult     `json:"stats,omitempty"`
 	Metrics   *MetricsResult   `json:"metrics,omitempty"`
 	Drain     *DrainResult     `json:"drain,omitempty"`
+	Fault     *FaultResult     `json:"fault,omitempty"`
 	Watch     *WatchEvent      `json:"watch,omitempty"`
 }
 
@@ -370,6 +417,21 @@ func DecodeRequest(line []byte) (*Request, error) {
 	case OpLeave:
 		if req.Leave == nil {
 			return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID, Msg: `leave request missing "leave" params`}
+		}
+	case OpFault:
+		if req.Fault == nil {
+			return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID, Msg: `fault request missing "fault" params`}
+		}
+		switch req.Fault.Kind {
+		case FaultLinkDown, FaultLinkUp:
+		case FaultDrift:
+			if req.Fault.Factor <= 0 {
+				return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID,
+					Msg: fmt.Sprintf("drift fault factor %v must be positive", req.Fault.Factor)}
+			}
+		default:
+			return nil, &FrameError{Code: ErrCodeBadParams, ID: req.ID,
+				Msg: fmt.Sprintf("unknown fault kind %q", req.Fault.Kind)}
 		}
 	default:
 		return nil, &FrameError{Code: ErrCodeUnknownOp, ID: req.ID, Msg: fmt.Sprintf("unknown op %q", req.Op)}

@@ -37,6 +37,10 @@ func TestRequestGoldenFrames(t *testing.T) {
 			`{"v":1,"id":8,"op":"metrics"}`},
 		{"drain", Request{V: 1, ID: 9, Op: OpDrain},
 			`{"v":1,"id":9,"op":"drain"}`},
+		{"fault-down", Request{V: 1, ID: 12, Op: OpFault, Fault: &FaultParams{From: 0, To: 1, Kind: FaultLinkDown}},
+			`{"v":1,"id":12,"op":"fault","fault":{"from":0,"to":1,"kind":"link-down"}}`},
+		{"fault-drift", Request{V: 1, ID: 13, Op: OpFault, Fault: &FaultParams{From: 4, To: 7, Kind: FaultDrift, Factor: 0.5}},
+			`{"v":1,"id":13,"op":"fault","fault":{"from":4,"to":7,"kind":"drift","factor":0.5}}`},
 		{"watch", Request{V: 1, ID: 10, Op: OpWatch, Watch: &WatchParams{HeartbeatSeconds: 2.5}},
 			`{"v":1,"id":10,"op":"watch","watch":{"heartbeat_seconds":2.5}}`},
 		{"watch-defaults", Request{V: 1, ID: 11, Op: OpWatch},
@@ -93,6 +97,8 @@ func TestResponseGoldenFrames(t *testing.T) {
 			`{"v":1,"id":7,"ok":true,"metrics":{"text":"overcastd_active_sessions 1\n"}}`},
 		{"drain", Response{V: 1, ID: 8, OK: true, Drain: &DrainResult{Active: 3}},
 			`{"v":1,"id":8,"ok":true,"drain":{"active":3}}`},
+		{"fault", Response{V: 1, ID: 12, OK: true, Fault: &FaultResult{From: 0, To: 1, Kind: FaultLinkDown, Capacity: 1e-4, Epoch: 5, UnderlayEvents: 2}},
+			`{"v":1,"id":12,"ok":true,"fault":{"from":0,"to":1,"kind":"link-down","capacity":0.0001,"epoch":5,"underlay_events":2}}`},
 		{"watch-initial", Response{V: 1, ID: 9, OK: true, Watch: &WatchEvent{Seq: 1, Epoch: 9, Snapshot: &SnapshotResult{
 			Epoch:      9,
 			Sessions:   []WireAllocation{{Session: 7, Demand: 2, Rate: 1.25, Members: []int{0, 3, 9}, Trees: []WireTree{tree}}},
@@ -174,6 +180,10 @@ func TestDecodeRequestRejections(t *testing.T) {
 		{"join-missing-params", `{"v":1,"id":6,"op":"join"}`, ErrCodeBadParams, 6},
 		{"leave-missing-params", `{"v":1,"id":7,"op":"leave"}`, ErrCodeBadParams, 7},
 		{"watch-negative-heartbeat", `{"v":1,"id":8,"op":"watch","watch":{"heartbeat_seconds":-1}}`, ErrCodeBadParams, 8},
+		{"fault-missing-params", `{"v":1,"id":9,"op":"fault"}`, ErrCodeBadParams, 9},
+		{"fault-unknown-kind", `{"v":1,"id":10,"op":"fault","fault":{"from":0,"to":1,"kind":"sever"}}`, ErrCodeBadParams, 10},
+		{"fault-bad-drift-factor", `{"v":1,"id":11,"op":"fault","fault":{"from":0,"to":1,"kind":"drift","factor":-2}}`, ErrCodeBadParams, 11},
+		{"fault-zero-drift-factor", `{"v":1,"id":12,"op":"fault","fault":{"from":0,"to":1,"kind":"drift"}}`, ErrCodeBadParams, 12},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

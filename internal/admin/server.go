@@ -442,6 +442,12 @@ func (s *Server) dispatch(line []byte) (*Response, bool, *watchStart) {
 			return errResp(req.ID, code, err.Error()), false, nil
 		}
 		resp.Snapshot = res
+	case OpFault:
+		res, code, err := s.handleFault(req.Fault)
+		if err != nil {
+			return errResp(req.ID, code, err.Error()), false, nil
+		}
+		resp.Fault = res
 	case OpStats:
 		resp.Stats = s.handleStats()
 	case OpMetrics:
@@ -572,6 +578,46 @@ func (s *Server) handleLeave(params *LeaveParams) (*LeaveResult, string, error) 
 	}
 	s.notifyWatchersLocked()
 	return &LeaveResult{Session: params.Session, Active: len(s.order)}, "", nil
+}
+
+// handleFault injects one underlay fault event into the allocator. An
+// effective fault (one that changes the link's capacity) advances the
+// allocator epoch, so watch streams see one frame per fault; a redundant
+// event (link-up on a healthy link, nested recovery) is a no-op and notifies
+// nobody. The materialized snapshot is NOT refreshed here — the post-fault
+// allocation is recomputed lazily by the next refreshing read, exactly like
+// joins.
+func (s *Server) handleFault(params *FaultParams) (*FaultResult, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return nil, ErrCodeDraining, fmt.Errorf("daemon is draining")
+	}
+	lf := overcast.LinkFault{From: params.From, To: params.To, Factor: params.Factor}
+	switch params.Kind {
+	case FaultLinkDown:
+		lf.Kind = overcast.FaultLinkDown
+	case FaultLinkUp:
+		lf.Kind = overcast.FaultLinkUp
+	case FaultDrift:
+		lf.Kind = overcast.FaultDrift
+	}
+	before := s.alloc.Epoch()
+	cap, err := s.alloc.Fault(lf)
+	if err != nil {
+		return nil, ErrCodeBadParams, err
+	}
+	if s.alloc.Epoch() != before {
+		s.notifyWatchersLocked()
+	}
+	return &FaultResult{
+		From:           params.From,
+		To:             params.To,
+		Kind:           params.Kind,
+		Capacity:       cap,
+		Epoch:          s.alloc.Epoch(),
+		UnderlayEvents: s.alloc.Stats().UnderlayEvents,
+	}, "", nil
 }
 
 func (s *Server) handleRebalance() (*RebalanceResult, string, error) {

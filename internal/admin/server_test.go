@@ -566,6 +566,123 @@ func TestWatchStream(t *testing.T) {
 	}
 }
 
+// TestFaultRPC drives the v1 fault op end to end: a link-down collapses the
+// link and advances the epoch (one watch frame), the matching link-up
+// restores it (another frame), and a redundant link-up is acknowledged as a
+// no-op that notifies nobody. Draining daemons refuse faults.
+func TestFaultRPC(t *testing.T) {
+	h := startHarness(t, t.TempDir(), Options{}, overcast.AllocatorOptions{})
+	c := h.dial()
+	defer c.Close()
+	mustJoin(t, c, []int{0, 3, 9}, 1)
+
+	wc := h.dial()
+	defer wc.Close()
+	w, err := wc.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Epoch != 1 {
+		t.Fatalf("initial watch epoch = %d, want 1", first.Epoch)
+	}
+
+	// The incremental Waxman generator guarantees link (0,1).
+	down, err := c.Fault(0, 1, FaultLinkDown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Kind != FaultLinkDown || down.Epoch != 2 || down.UnderlayEvents != 1 {
+		t.Fatalf("link-down result = %+v", down)
+	}
+	up, err := c.Fault(1, 0, FaultLinkUp, 0) // order-insensitive endpoints
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Epoch != 3 || up.UnderlayEvents != 2 {
+		t.Fatalf("link-up result = %+v", up)
+	}
+	if up.Capacity <= down.Capacity*1000 {
+		t.Fatalf("recovery capacity %g vs down capacity %g: link did not recover", up.Capacity, down.Capacity)
+	}
+	// Redundant recovery: acknowledged, but a no-op — same epoch, same count.
+	noop, err := c.Fault(0, 1, FaultLinkUp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noop.Epoch != up.Epoch || noop.UnderlayEvents != up.UnderlayEvents {
+		t.Fatalf("redundant link-up result = %+v, want epoch %d events %d", noop, up.Epoch, up.UnderlayEvents)
+	}
+
+	// Exactly one watch frame per effective fault, none for the no-op: the
+	// next two frames carry epochs 2 and 3, and a following join's frame
+	// (epoch 4) arrives immediately after — no frame in between.
+	for i, wantEpoch := range []uint64{2, 3} {
+		ev, err := w.Next()
+		if err != nil {
+			t.Fatalf("fault event %d: %v", i, err)
+		}
+		if ev.Epoch != wantEpoch || ev.Heartbeat {
+			t.Fatalf("fault event %d = %+v, want epoch %d", i, ev, wantEpoch)
+		}
+	}
+	mustJoin(t, c, []int{5, 12, 20}, 1)
+	ev, err := w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Epoch != 4 {
+		t.Fatalf("post-noop frame epoch = %d, want 4 (the no-op must not emit a frame)", ev.Epoch)
+	}
+
+	// Bad faults are coded rejections.
+	rpcErr := new(RPCError)
+	if _, err := c.Fault(0, 0, FaultLinkDown, 0); !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeBadParams {
+		t.Fatalf("self-loop fault error = %v, want %s", err, ErrCodeBadParams)
+	}
+	if _, err := c.Fault(0, 1, "sever", 0); !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeBadParams {
+		t.Fatalf("unknown kind error = %v, want %s", err, ErrCodeBadParams)
+	}
+	if _, err := c.Fault(0, 1, FaultDrift, -1); !errors.As(err, &rpcErr) || rpcErr.Code != ErrCodeBadParams {
+		t.Fatalf("bad drift factor error = %v, want %s", err, ErrCodeBadParams)
+	}
+
+	// Prometheus text surfaces the robustness counters.
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"overcastd_underlay_events_total 2",
+		"overcastd_plane_nonmonotone_refills_total",
+		"overcastd_shard_fault_resyncs_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+
+	// Pre-dial before draining: the listener closes once the drain starts,
+	// but established connections are served until DrainTimeout.
+	c2 := h.dial()
+	defer c2.Close()
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Faults are mutations: a draining daemon refuses them.
+	if _, err := c2.Fault(0, 1, FaultLinkDown, 0); err == nil {
+		t.Fatal("fault during drain succeeded")
+	}
+	select {
+	case <-h.serve:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}
+
 // TestWatchHeartbeat: an idle stream pushes heartbeat frames at the client's
 // requested cadence, repeating the last epoch, and a subscription during a
 // drain is rejected outright.

@@ -95,6 +95,12 @@ type WarmStats struct {
 	WarmFallbacks int
 	// RepairPhases counts session-phases routed by warm repair.
 	RepairPhases int
+	// UnderlayEvents counts underlay fault mutations (link failure/recovery,
+	// capacity drift) applied through Fault. Every one latches a cold
+	// re-anchor: capacity changes invalidate the anchored dual objective
+	// D = Σ_e c_e·d_e and the bump attribution regardless of whether the
+	// mirrored length move was monotone.
+	UnderlayEvents int
 	// MSTOps counts spanning-tree computations across anchors and repair.
 	MSTOps int
 	// Plane aggregates the shared-SSSP-plane counters across the anchors'
@@ -231,9 +237,11 @@ func (w *Warm) Leave(slot int) error {
 	}
 	// Rolling back Sets edges, which advances shrinkOK — it must not launder
 	// an *earlier* external shrink past the monotonicity check. If the
-	// ledger is already dirty, skip the rollback (the bump attribution is
-	// untrustworthy anyway) and latch a cold re-anchor instead.
-	if !w.d.MonotoneSince(w.shrinkOK) {
+	// ledger is already dirty — an external shrink, or a fault already
+	// latched the cold re-anchor (capacities changed under the recorded
+	// bumps) — skip the rollback (the bump attribution is untrustworthy
+	// anyway) and keep the cold latch.
+	if w.forceCold || !w.d.MonotoneSince(w.shrinkOK) {
 		w.forceCold = true
 		return nil
 	}
@@ -284,6 +292,36 @@ func (w *Warm) rollback(slot int) {
 	// repair sees the shrink through the ledger journal regardless and
 	// refills the affected rows.
 	w.shrinkOK = w.d.Epoch()
+}
+
+// Fault records an underlay capacity mutation on edge e. The caller has
+// already rewritten the graph's capacity (see internal/underlay.State);
+// lengthFactor is the matching multiplicative length move old/new — > 1 for a
+// failure or downward drift (capacity fell, the dual price 1/c_e rose), < 1
+// for a recovery or upward drift.
+//
+// When anchored, the move is mirrored onto the live ledger with Bump so every
+// ledger consumer sees it immediately and honestly: a shrink flips
+// MonotoneSince for the plane's skip/repair rows (degrading them to full
+// refill) and for the sharded replicas' journal-diff sync. Regardless of the
+// move's direction the next Refresh is latched cold — the anchored dual
+// objective D = Σ_e c_e·d_e and the per-session bump attribution were
+// computed under the old capacities, so incremental repair arithmetic is no
+// longer trustworthy even for a monotone move.
+func (w *Warm) Fault(e graph.EdgeID, lengthFactor float64) error {
+	if e < 0 || (w.d != nil && e >= graph.EdgeID(w.d.Len())) || e >= graph.EdgeID(w.g.NumEdges()) {
+		return fmt.Errorf("core: warm fault: edge %d out of range", e)
+	}
+	if lengthFactor <= 0 {
+		return fmt.Errorf("core: warm fault: length factor %v must be positive", lengthFactor)
+	}
+	w.stats.UnderlayEvents++
+	if w.d != nil && lengthFactor != 1 {
+		w.d.Bump(e, lengthFactor)
+	}
+	w.forceCold = true
+	w.dirty = true
+	return nil
 }
 
 // NumSlots returns the number of sessions ever admitted.

@@ -14,12 +14,16 @@ package graph
 // by exactly one, so epochs double as a mutation count.
 type Epoch = int64
 
-// maxJournal bounds the touched-edge journal. When the journal outgrows the
-// bound its oldest half is discarded (see Touched's ok return); the per-edge
-// LastTouched stamps are complete history and are never trimmed, so repair
-// consumers falling off the window only lose the journal-replay fast path,
-// never correctness (they fall back to LastTouched walks).
-const maxJournal = 1 << 16
+// JournalWindow bounds the touched-edge journal. When the journal outgrows
+// the bound its oldest half is discarded (see Touched's ok return); the
+// per-edge LastTouched stamps are complete history and are never trimmed, so
+// repair consumers falling off the window only lose the journal-replay fast
+// path, never correctness (they fall back to LastTouched walks). Exported so
+// fault harnesses can size event bursts that deliberately overflow the window
+// (forcing the sharded solver's full-snapshot resync path).
+const JournalWindow = 1 << 16
+
+const maxJournal = JournalWindow
 
 // LengthStore is a versioned per-edge length assignment d_e — the mutable
 // dual variable of the Garg–Könemann framework — that journals its own
@@ -132,13 +136,14 @@ func (s *LengthStore) TouchedCount(since Epoch) Epoch { return s.epoch - since }
 // ForEachTouched calls fn for every journal entry after epoch `since`, in
 // mutation order (an edge mutated twice appears twice), stopping early when
 // fn returns true. It reports whether the journal still covers that range;
-// ok=false means history older than the journal window was requested and
-// the caller must assume everything moved. This is the repair hot path: the
+// ok=false means the range is unanswerable — history older than the journal
+// window, or a `since` from the future (e.g. an epoch taken from a different
+// ledger) — and the caller must assume everything moved. This is the repair hot path: the
 // plane's dirty-source check replays the window against a row's stored
 // parent tree (stopping at the first tree hit) before falling back to
 // per-path LastTouched walks.
 func (s *LengthStore) ForEachTouched(since Epoch, fn func(EdgeID) (stop bool)) (ok bool) {
-	if since < s.firstEpoch {
+	if since < s.firstEpoch || since > s.epoch {
 		return false
 	}
 	for _, e := range s.journal[since-s.firstEpoch:] {
@@ -154,7 +159,7 @@ func (s *LengthStore) ForEachTouched(since Epoch, fn func(EdgeID) (stop bool)) (
 // `since` (see ForEachTouched). It allocates; it is a diagnostic/test API,
 // not the hot path (hot consumers use LastTouched stamps or ForEachTouched).
 func (s *LengthStore) Touched(since Epoch) (edges []EdgeID, ok bool) {
-	if since < s.firstEpoch {
+	if since < s.firstEpoch || since > s.epoch {
 		return nil, false
 	}
 	seen := make(map[EdgeID]bool)

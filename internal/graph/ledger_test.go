@@ -77,6 +77,103 @@ func TestLedgerTouchedExact(t *testing.T) {
 	}
 }
 
+// TestLedgerTouchedReportsShrinks is the non-monotone half of the journal
+// property: a mutation sequence dominated by shrinks (Set below current,
+// Bump with factor < 1, Raise that lowers) must still journal every touch,
+// so Touched(since) == brute-force snapshot diff and ForEachTouched replays
+// the exact mutation order. Underlay fault recovery depends on this — a
+// link-up mirrors as a length shrink, and a replica that missed it would
+// keep routing around a healthy link.
+func TestLedgerTouchedReportsShrinks(t *testing.T) {
+	g := ledgerFixture(t, 24)
+	s := NewLengthStore(g, 4)
+	rng := rand.New(rand.NewSource(11))
+
+	snapshots := []Lengths{s.Values().Clone()}
+	epochs := []Epoch{0}
+	var order []EdgeID // reference journal: edge touched at each step
+	for step := 0; step < 400; step++ {
+		e := rng.Intn(g.NumEdges())
+		switch rng.Intn(4) {
+		case 0:
+			s.Set(e, 0.25+rng.Float64()) // near-certain shrink from 4
+		case 1:
+			s.Bump(e, 0.5+0.4*rng.Float64()) // shrinking bump
+		case 2:
+			s.Raise(e, s.At(e)*(0.5+rng.Float64())) // Raise may lower
+		default:
+			s.Bump(e, 1.0001+rng.Float64())
+		}
+		order = append(order, e)
+		snapshots = append(snapshots, s.Values().Clone())
+		epochs = append(epochs, s.Epoch())
+	}
+	if s.MonotoneSince(0) {
+		t.Fatal("shrink-heavy sequence cannot be monotone")
+	}
+	for _, sinceIdx := range []int{0, 3, 111, 399, 400} {
+		since := epochs[sinceIdx]
+		touched, ok := s.Touched(since)
+		if !ok {
+			t.Fatalf("journal lost epoch %d", since)
+		}
+		want := map[EdgeID]bool{}
+		for e := range snapshots[sinceIdx] {
+			if snapshots[sinceIdx][e] != snapshots[len(snapshots)-1][e] {
+				want[e] = true
+			}
+		}
+		got := map[EdgeID]bool{}
+		for _, e := range touched {
+			got[e] = true
+		}
+		// Every moved edge must be reported. (The converse can miss: a
+		// shrink followed by a growth back to the exact old value is still
+		// journaled — that is correct over-reporting, never under.)
+		for e := range want {
+			if !got[e] {
+				t.Errorf("Touched(%d) misses shrunk edge %d", since, e)
+			}
+		}
+		// ForEachTouched must replay the exact mutation order.
+		var replay []EdgeID
+		if !s.ForEachTouched(since, func(e EdgeID) bool {
+			replay = append(replay, e)
+			return false
+		}) {
+			t.Fatalf("ForEachTouched lost epoch %d", since)
+		}
+		wantOrder := order[sinceIdx:]
+		if len(replay) != len(wantOrder) {
+			t.Fatalf("ForEachTouched(%d) replayed %d touches, want %d", since, len(replay), len(wantOrder))
+		}
+		for i := range replay {
+			if replay[i] != wantOrder[i] {
+				t.Fatalf("ForEachTouched(%d) order diverges at %d: %d vs %d", since, i, replay[i], wantOrder[i])
+			}
+		}
+	}
+}
+
+// TestLedgerJournalRangeGuards pins the out-of-range contract: a `since`
+// beyond the current epoch (e.g. an epoch taken from a different ledger
+// after a fault resync swapped stores) reports ok=false instead of
+// panicking or fabricating an empty diff.
+func TestLedgerJournalRangeGuards(t *testing.T) {
+	g := ledgerFixture(t, 8)
+	s := NewLengthStore(g, 1)
+	s.Bump(0, 2)
+	if _, ok := s.Touched(s.Epoch() + 1); ok {
+		t.Fatal("Touched must reject a future epoch")
+	}
+	if s.ForEachTouched(s.Epoch()+5, func(EdgeID) bool { return false }) {
+		t.Fatal("ForEachTouched must reject a future epoch")
+	}
+	if _, ok := s.Touched(s.Epoch()); !ok {
+		t.Fatal("Touched at the current epoch is an empty, answerable diff")
+	}
+}
+
 // TestLedgerLastTouchedAndMonotone pins the per-edge stamps and the
 // monotonicity tracking the plane repair check relies on.
 func TestLedgerLastTouchedAndMonotone(t *testing.T) {

@@ -331,6 +331,13 @@ func (r *BatchRunner) rowCurrent(ls *graph.LengthStore, row int) bool {
 		return true
 	}
 	if !ls.MonotoneSince(fill) {
+		// Some length shrank since this row was filled (an underlay recovery
+		// or downward drift mirrored into the ledger): a shrunk edge outside
+		// the stored tree can re-route shortest paths, so no touched-edge
+		// argument applies — degrade deterministically to a full refill.
+		// Single-writer: rowCurrent only runs on stagePlane's sequential
+		// classify pass.
+		r.metrics.PlaneNonMonotone++
 		return false
 	}
 	parents := r.plane.ParentRow(row)

@@ -288,6 +288,13 @@ type Metrics struct {
 	// tree was assembled, so Prim and route extraction were skipped along
 	// with the Dijkstras.
 	PlaneTreeHits int
+	// PlaneNonMonotone counts rows degraded from the skip/repair fast path
+	// to a full refill because the ledger reported a non-monotone window
+	// (MonotoneSince=false): some length shrank since the row's fill epoch —
+	// an underlay recovery or drift-down mirrored into the ledger — so the
+	// stored SSSP tree cannot be proven exact by touched-edge intersection
+	// alone and is recomputed from scratch.
+	PlaneNonMonotone int
 }
 
 // PlaneDedup returns PlaneRequests/PlaneSources, the average number of oracle
@@ -327,4 +334,5 @@ func (m *Metrics) Merge(o Metrics) {
 	m.PlaneSkipped += o.PlaneSkipped
 	m.PlaneSeeded += o.PlaneSeeded
 	m.PlaneTreeHits += o.PlaneTreeHits
+	m.PlaneNonMonotone += o.PlaneNonMonotone
 }

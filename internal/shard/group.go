@@ -237,7 +237,12 @@ func (gp *Group) run(ls *graph.LengthStore, ids []int, wantLen bool) []overlay.B
 			}
 			return false
 		}) {
+			// The journal window no longer covers the last sync epoch: a
+			// mutation burst (an underlay fault sweep) outran the window, so
+			// the diff is unreplayable and every replica must resync from a
+			// full snapshot.
 			full = true
+			gp.stats.FaultResyncs += len(gp.workers)
 		}
 	}
 	cut := 0

@@ -141,6 +141,12 @@ type Stats struct {
 	// Resyncs counts full-snapshot replica rebuilds (ledger swap or journal
 	// window loss).
 	Resyncs int
+	// FaultResyncs is the subset of Resyncs forced by journal window loss:
+	// the authoritative ledger mutated past its journal bound between
+	// exchange rounds (e.g. an underlay fault burst touching more edges than
+	// the window holds), so the diff could not be replayed and every replica
+	// was rebuilt from a full snapshot.
+	FaultResyncs int
 	// ReduceNanos is the time spent merging shard results back into the
 	// batch-order result slice in canonical (shard, session-id) order.
 	ReduceNanos int64
@@ -163,5 +169,6 @@ func (s *Stats) Merge(o Stats) {
 	s.CutMsgs += o.CutMsgs
 	s.ExchangeBytes += o.ExchangeBytes
 	s.Resyncs += o.Resyncs
+	s.FaultResyncs += o.FaultResyncs
 	s.ReduceNanos += o.ReduceNanos
 }

@@ -276,6 +276,75 @@ func TestGroupMatchesBatchRunner(t *testing.T) {
 	}
 }
 
+// TestGroupFaultBurstResync pins the journal-window-loss resync path: a
+// mutation burst larger than graph.JournalWindow between two exchange rounds
+// makes the authoritative diff unreplayable, so the group must fall back to a
+// full-snapshot resync (counted in FaultResyncs, a subset of Resyncs) and
+// still produce results bitwise equal to an unsharded runner.
+func TestGroupFaultBurstResync(t *testing.T) {
+	g, labels, _ := boundaryFixture(t)
+	oracles := fixtureOracles(t, g)
+	gp := shard.NewGroup(g, oracles, shard.Options{
+		Shards: 2, Labels: labels, Workers: 1, SharedPlane: true,
+	})
+	defer gp.Close()
+	ref := overlay.NewBatchRunnerOpts(g, oracles, overlay.BatchOptions{Workers: 1, SharedPlane: true})
+	defer ref.Close()
+	ls := graph.NewLengthStore(g, 1)
+
+	check := func(round int) {
+		t.Helper()
+		got, wantRes := gp.MinTreesLen(ls, nil), ref.MinTreesLen(ls, nil)
+		for pos := range got {
+			if got[pos].Tree.Key() != wantRes[pos].Tree.Key() || got[pos].Len != wantRes[pos].Len {
+				t.Fatalf("round %d pos %d: sharded result diverged", round, pos)
+			}
+		}
+	}
+	check(0)
+	if st := gp.Stats(); st.FaultResyncs != 0 {
+		t.Fatalf("initial snapshot round must not count as a fault resync: %+v", st)
+	}
+
+	// Fault burst: overflow the journal window with alternating down/up
+	// mutations (a net non-monotone sweep), so the next sync cannot replay
+	// the diff.
+	// Alternate the factor per sweep so lengths stay bounded (each edge's
+	// cumulative factor is 2 or 1, never a runaway power).
+	m := g.NumEdges()
+	for i := 0; i < graph.JournalWindow+m; i++ {
+		if (i/m)%2 == 0 {
+			ls.Bump(i%m, 2)
+		} else {
+			ls.Bump(i%m, 0.5)
+		}
+	}
+	check(1)
+	st := gp.Stats()
+	if st.FaultResyncs != 2 {
+		t.Fatalf("FaultResyncs = %d after a window-overflow burst, want 2 (one per shard)", st.FaultResyncs)
+	}
+	if st.Resyncs < st.FaultResyncs {
+		t.Fatalf("FaultResyncs (%d) must be a subset of Resyncs (%d)", st.FaultResyncs, st.Resyncs)
+	}
+
+	// A small follow-up round goes back to the diff path: no new fault
+	// resyncs, and still bit-identical.
+	ls.Bump(0, 1.5)
+	check(2)
+	if st2 := gp.Stats(); st2.FaultResyncs != 2 {
+		t.Fatalf("diff-path round must not add fault resyncs: %d", st2.FaultResyncs)
+	}
+
+	// Merge folds the counter.
+	var merged shard.Stats
+	merged.Merge(st)
+	merged.Merge(st)
+	if merged.FaultResyncs != 2*st.FaultResyncs {
+		t.Fatalf("Merge dropped FaultResyncs: %d", merged.FaultResyncs)
+	}
+}
+
 // TestGroupDynamicAddOracle covers the warm-allocator path: a Dynamic group
 // that grows its oracle set between batches must keep matching the plain
 // runner.
