@@ -47,10 +47,13 @@ type AllocatorOptions struct {
 	// are bit-identical for every worker count.
 	Workers int
 	// DisablePlane turns off the shared SSSP plane; DisableRepair turns off
-	// its cross-round dirty-source repair. Outputs are bit-identical either
-	// way; the toggles exist for the determinism gate and perf comparisons.
-	DisablePlane  bool
-	DisableRepair bool
+	// its cross-round dirty-source repair; DisableSubtreeRepair turns off
+	// repair's incremental subtree path, leaving the original
+	// skip-or-full-refill behavior. Outputs are bit-identical either way;
+	// the toggles exist for the determinism gate and perf comparisons.
+	DisablePlane         bool
+	DisableRepair        bool
+	DisableSubtreeRepair bool
 	// RepairPhaseBudget bounds the warm repair work per Snapshot/Rebalance,
 	// in session-phases: 0 = unbounded (a warm refresh always completes),
 	// positive = fall back to a cold re-solve when exceeded, negative =
@@ -129,6 +132,11 @@ type PlaneStats struct {
 	// check; Skipped counts refills it proved unnecessary (no Dijkstra at
 	// all); Seeded counts rows copied from a prestep seed plane.
 	Repaired, Skipped, Seeded int
+	// SubtreeRepaired counts rows revalidated by an incremental subtree
+	// repair (a resumed Dijkstra over just the dirty subtrees) instead of a
+	// full refill; SubtreeNodes totals the nodes those repairs resettled —
+	// SubtreeNodes/SubtreeRepaired is the mean repaired-region size.
+	SubtreeRepaired, SubtreeNodes int
 	// TreeHits counts whole oracle evaluations served from the tree cache.
 	TreeHits int
 	// NonMonotoneRefills counts rows degraded from the skip/repair fast path
@@ -157,12 +165,15 @@ func (p PlaneStats) HitRate() float64 {
 }
 
 // RepairRate returns the fraction of cross-round row revalidations resolved
-// without a Dijkstra: Skipped/(Skipped+Repaired) (0 when repair never ran).
+// without a full Dijkstra — skipped outright or subtree-repaired:
+// (Skipped+SubtreeRepaired)/(Skipped+SubtreeRepaired+Repaired) (0 when
+// repair never ran).
 func (p PlaneStats) RepairRate() float64 {
-	if p.Skipped+p.Repaired == 0 {
+	resolved := p.Skipped + p.SubtreeRepaired
+	if resolved+p.Repaired == 0 {
 		return 0
 	}
-	return float64(p.Skipped) / float64(p.Skipped+p.Repaired)
+	return float64(resolved) / float64(resolved+p.Repaired)
 }
 
 // ShardStats exposes the sharded solver's price-exchange counters (zero when
@@ -281,8 +292,9 @@ func NewAllocator(net *Network, opts AllocatorOptions) (*Allocator, error) {
 	warm, err := core.NewWarm(net.inner.Graph, mode, weights, core.WarmOptions{
 		Epsilon: opts.Epsilon, Workers: opts.Workers,
 		DisablePlane: opts.DisablePlane, DisableRepair: opts.DisableRepair,
-		RepairPhaseBudget: opts.RepairPhaseBudget,
-		Shards:            opts.Shards, ShardLabels: net.inner.ASOf,
+		DisableSubtreeRepair: opts.DisableSubtreeRepair,
+		RepairPhaseBudget:    opts.RepairPhaseBudget,
+		Shards:               opts.Shards, ShardLabels: net.inner.ASOf,
 	})
 	if err != nil {
 		return nil, err
@@ -590,6 +602,8 @@ func (a *Allocator) Stats() AllocatorStats {
 			Rounds: ws.Plane.PlaneRounds, Sources: ws.Plane.PlaneSources,
 			Requests: ws.Plane.PlaneRequests, Repaired: ws.Plane.PlaneRepaired,
 			Skipped: ws.Plane.PlaneSkipped, Seeded: ws.Plane.PlaneSeeded,
+			SubtreeRepaired:    ws.Plane.PlaneSubtreeRepaired,
+			SubtreeNodes:       ws.Plane.PlaneSubtreeNodes,
 			TreeHits:           ws.Plane.PlaneTreeHits,
 			NonMonotoneRefills: ws.Plane.PlaneNonMonotone,
 		},

@@ -4,6 +4,7 @@
 // counts 1, 2, and 8, at solver shard counts 1, 2, and 4 (-shards), with
 // the shared SSSP plane enabled and disabled (-plane=false) and the plane's
 // cross-round dirty-source repair enabled and disabled (-repair=false), and
+// repair's incremental subtree path enabled and disabled (-subtree=false), and
 // diffs the outputs: solver results must be a function of the seed only,
 // never of the worker-pool size, goroutine scheduling, how oracle rounds
 // were partitioned across price-exchanging shards, whether per-member
@@ -37,9 +38,11 @@ func main() {
 	shards := flag.Int("shards", 0, "solver shard count behind the price-exchange boundary (0 = unsharded); output must not depend on it")
 	plane := flag.Bool("plane", true, "enable the solve-scoped shared SSSP plane; output must not depend on it")
 	repair := flag.Bool("repair", true, "enable the plane's cross-round dirty-source repair; output must not depend on it")
+	subtree := flag.Bool("subtree", true, "enable repair's incremental subtree path; output must not depend on it")
 	flag.Parse()
 	disablePlane := !*plane
 	disableRepair := !*repair
+	disableSubtree := !*subtree
 
 	for _, arb := range []bool{false, true} {
 		a, err := experiments.NewSettingA(7, experiments.SettingAConfig{
@@ -51,11 +54,12 @@ func main() {
 		a.SolverWorkers = *workers
 		a.SolverDisablePlane = disablePlane
 		a.SolverDisableRepair = disableRepair
+		a.SolverDisableSubtreeRepair = disableSubtree
 		p := a.ProblemIP
 		if arb {
 			p = a.ProblemArb
 		}
-		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair, Shards: *shards})
+		mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: 0.08, Parallel: true, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair, DisableSubtreeRepair: disableSubtree, Shards: *shards})
 		if err != nil {
 			panic(err)
 		}
@@ -70,7 +74,8 @@ func main() {
 		}
 		mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
 			Epsilon: 0.1, Parallel: true, SurplusPass: true, Workers: *workers,
-			DisablePlane: disablePlane, DisableRepair: disableRepair, Shards: *shards,
+			DisablePlane: disablePlane, DisableRepair: disableRepair,
+			DisableSubtreeRepair: disableSubtree, Shards: *shards,
 		})
 		if err != nil {
 			panic(err)
@@ -95,7 +100,7 @@ func main() {
 		si, err := experiments.NewScaleInstance(2026, experiments.ScaleConfig{
 			Nodes: 300, Sessions: 10, Scenario: scenario,
 			Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
-			Shards: *shards,
+			DisableSubtreeRepair: disableSubtree, Shards: *shards,
 		})
 		if err != nil {
 			panic(err)
@@ -142,7 +147,7 @@ func main() {
 	si, err := experiments.NewScaleInstance(2028, experiments.ScaleConfig{
 		Nodes: 150, Sessions: 12, Scenario: "cdn", Arbitrary: true,
 		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
-		Shards: *shards,
+		DisableSubtreeRepair: disableSubtree, Shards: *shards,
 	})
 	if err != nil {
 		panic(err)
@@ -168,7 +173,7 @@ func main() {
 	tli, err := experiments.NewScaleInstance(2031, experiments.ScaleConfig{
 		Nodes: 240, Sessions: 8, SessionSize: 6, TwoLevelASes: 6,
 		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
-		Shards: *shards,
+		DisableSubtreeRepair: disableSubtree, Shards: *shards,
 	})
 	if err != nil {
 		panic(err)
@@ -196,7 +201,7 @@ func main() {
 	// "which allocation wins where" table must be a pure function of the
 	// seed, like everything above it.
 	rows, err := experiments.MFvsMCFReport(2029, 0.3,
-		experiments.ReportSolverOptions{Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair, Shards: *shards},
+		experiments.ReportSolverOptions{Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair, DisableSubtreeRepair: disableSubtree, Shards: *shards},
 		nil, []experiments.ReportTier{{Name: "small", Nodes: 300, Sessions: 12}})
 	if err != nil {
 		panic(err)
@@ -217,7 +222,7 @@ func main() {
 	}
 	wa, err := overcast.NewAllocator(warmNet, overcast.AllocatorOptions{
 		Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
-		Shards: *shards,
+		DisableSubtreeRepair: disableSubtree, Shards: *shards,
 	})
 	if err != nil {
 		panic(err)
@@ -294,7 +299,7 @@ func main() {
 	// allocation only — the per-event trace is huge).
 	wrep, err := experiments.WarmChurnRun(2030, experiments.WarmChurnConfig{
 		Nodes: 80, Workers: *workers, DisablePlane: disablePlane, DisableRepair: disableRepair,
-		Shards: *shards,
+		DisableSubtreeRepair: disableSubtree, Shards: *shards,
 	})
 	if err != nil {
 		panic(err)
@@ -320,6 +325,7 @@ func main() {
 		fc.Shards = *shards
 		fc.DisablePlane = disablePlane
 		fc.DisableRepair = disableRepair
+		fc.DisableSubtreeRepair = disableSubtree
 		frep, err := experiments.FaultSolveRun(2032, fc)
 		if err != nil {
 			panic(err)

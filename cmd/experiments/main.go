@@ -112,6 +112,7 @@ func main() {
 	shards := flag.Int("shards", 0, "solver shard count behind the price-exchange boundary (settingB/scale/warmchurn/report tiers; 0 = unsharded); outputs are shard-count independent")
 	plane := flag.Bool("plane", true, "enable the solve-scoped shared SSSP plane (scale/churn/report tiers); outputs are plane-independent")
 	repair := flag.Bool("repair", true, "enable the plane's cross-round dirty-source repair; outputs are repair-independent")
+	subtree := flag.Bool("subtree", true, "enable repair's incremental subtree path; outputs are subtree-independent")
 	flag.Parse()
 
 	if *scenario == "list" {
@@ -142,7 +143,8 @@ func main() {
 
 	r := runner{scale: *scale, seed: *seed, trials: *trials, maxpts: *maxpts,
 		nodes: *nodes, sessions: *sessions, sessionSize: *sessionSize, scenario: *scenario,
-		workers: *workers, shards: *shards, disablePlane: !*plane, disableRepair: !*repair}
+		workers: *workers, shards: *shards, disablePlane: !*plane, disableRepair: !*repair,
+		disableSubtree: !*subtree}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "sessionsize" {
 			r.sessionSizeSet = true
@@ -172,6 +174,7 @@ type runner struct {
 	shards         int
 	disablePlane   bool
 	disableRepair  bool
+	disableSubtree bool
 
 	settingA *experiments.SettingA
 	settingB *experiments.SettingB
@@ -501,6 +504,7 @@ func (r *runner) run(exp string) error {
 			cfgs[ci].Shards = r.shards
 			cfgs[ci].DisablePlane = r.disablePlane
 			cfgs[ci].DisableRepair = r.disableRepair
+			cfgs[ci].DisableSubtreeRepair = r.disableSubtree
 		}
 		rows, err := experiments.ScaleSuite(r.seed, 0.3, true, cfgs)
 		if err != nil {
@@ -520,7 +524,7 @@ func (r *runner) run(exp string) error {
 		}
 		rows, err := experiments.MFvsMCFReport(r.seed, 0.3, experiments.ReportSolverOptions{
 			Workers: r.workers, DisablePlane: r.disablePlane, DisableRepair: r.disableRepair,
-			Shards: r.shards,
+			DisableSubtreeRepair: r.disableSubtree, Shards: r.shards,
 		}, names, nil)
 		if err != nil {
 			return err
@@ -538,6 +542,7 @@ func (r *runner) run(exp string) error {
 		cfg := experiments.WarmChurnConfig{
 			Nodes: nodes, Workers: r.workers, Shards: r.shards,
 			DisablePlane: r.disablePlane, DisableRepair: r.disableRepair,
+			DisableSubtreeRepair: r.disableSubtree,
 		}
 		warm, cold, err := experiments.WarmChurnPair(r.seed, cfg)
 		if err != nil {

@@ -187,6 +187,8 @@ func TestDaemonLifecycle(t *testing.T) {
 	for _, want := range []string{
 		"overcastd_active_sessions 2",
 		"overcastd_joins_total 3",
+		"overcastd_plane_subtree_repaired_total",
+		"overcastd_plane_subtree_nodes_total",
 		`overcastd_rpcs_total{op="join"} 3`,
 	} {
 		if !strings.Contains(text, want) {

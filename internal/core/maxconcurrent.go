@@ -34,6 +34,11 @@ type MaxConcurrentFlowOptions struct {
 	// pass) and the beta prestep's cross-subproblem seed plane; see
 	// MaxFlowOptions.DisableRepair. Outputs are bit-identical either way.
 	DisableRepair bool
+	// DisableSubtreeRepair turns off the planes' incremental subtree repair
+	// everywhere this solve evaluates oracles (phase loop, beta prestep
+	// subsolves, surplus pass); see MaxFlowOptions.DisableSubtreeRepair.
+	// Outputs are bit-identical either way.
+	DisableSubtreeRepair bool
 	// Shards splits the phase loop's oracle rounds (and the surplus pass's)
 	// across per-AS shard goroutines behind an explicit price-message
 	// boundary; see MaxFlowOptions.Shards. 0 = unsharded; outputs are
@@ -209,9 +214,10 @@ func MaxConcurrentFlow(p *Problem, opts MaxConcurrentFlowOptions) (*MCFResult, e
 	// the persistent worker pool (per-worker scratch); the pool outlives all
 	// phases, so goroutines and buffers are built exactly once per solve.
 	runner := newOracleRunner(p.G, p.Oracles, overlay.BatchOptions{
-		Workers:       workers,
-		SharedPlane:   !opts.DisablePlane,
-		DisableRepair: opts.DisableRepair,
+		Workers:              workers,
+		SharedPlane:          !opts.DisablePlane,
+		DisableRepair:        opts.DisableRepair,
+		DisableSubtreeRepair: opts.DisableSubtreeRepair,
 	}, opts.Shards, opts.ShardLabels)
 	defer runner.Close()
 	rem := make([]float64, k)
@@ -352,7 +358,8 @@ func addSurplus(p *Problem, sol *Solution, eps float64, opts MaxConcurrentFlowOp
 	extra, err := MaxFlow(rp, MaxFlowOptions{
 		Epsilon: eps, Parallel: opts.Parallel, Workers: opts.Workers,
 		DisablePlane: opts.DisablePlane, DisableRepair: opts.DisableRepair,
-		Shards: opts.Shards, ShardLabels: opts.ShardLabels,
+		DisableSubtreeRepair: opts.DisableSubtreeRepair,
+		Shards:               opts.Shards, ShardLabels: opts.ShardLabels,
 	})
 	if err != nil {
 		return fmt.Errorf("core: surplus pass: %w", err)

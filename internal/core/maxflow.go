@@ -35,6 +35,13 @@ type MaxFlowOptions struct {
 	// Outputs are bit-identical with repair on or off. Irrelevant when the
 	// plane is off.
 	DisableRepair bool
+	// DisableSubtreeRepair turns off the plane's incremental subtree repair
+	// (see overlay.BatchOptions.DisableSubtreeRepair): with it on, a row
+	// whose stored SSSP tree took touched edges is repaired by resuming
+	// Dijkstra over just the affected subtrees instead of a full refill,
+	// whenever the bit-identity certificate holds. Outputs are bit-identical
+	// with the toggle on or off. Irrelevant when repair is off.
+	DisableSubtreeRepair bool
 	// Shards splits each oracle round across per-AS shard goroutines behind
 	// an explicit price-message boundary (see internal/shard): every shard
 	// owns a length-ledger replica and its own SSSP plane, synchronized once
@@ -93,10 +100,11 @@ func MaxFlow(p *Problem, opts MaxFlowOptions) (*Solution, error) {
 	// fan-out below executes every iteration, and rebuilding goroutines and
 	// buffers each time used to dominate the solver's allocation profile.
 	runner := newOracleRunner(p.G, p.Oracles, overlay.BatchOptions{
-		Workers:       resolveWorkers(opts.Parallel, opts.Workers),
-		SharedPlane:   !opts.DisablePlane,
-		DisableRepair: opts.DisableRepair,
-		Seed:          opts.seedPlane,
+		Workers:              resolveWorkers(opts.Parallel, opts.Workers),
+		SharedPlane:          !opts.DisablePlane,
+		DisableRepair:        opts.DisableRepair,
+		DisableSubtreeRepair: opts.DisableSubtreeRepair,
+		Seed:                 opts.seedPlane,
 	}, opts.Shards, opts.ShardLabels)
 	defer runner.Close()
 

@@ -58,9 +58,10 @@ func prestepBetas(p *Problem, eps float64, workers int, opts MaxConcurrentFlowOp
 		sub := singleSessionProblem(p, i)
 		mf, err := MaxFlow(sub, MaxFlowOptions{
 			Epsilon: eps, Workers: 1,
-			DisablePlane:  opts.DisablePlane,
-			DisableRepair: opts.DisableRepair,
-			seedPlane:     seeds[i],
+			DisablePlane:         opts.DisablePlane,
+			DisableRepair:        opts.DisableRepair,
+			DisableSubtreeRepair: opts.DisableSubtreeRepair,
+			seedPlane:            seeds[i],
 		})
 		if err != nil {
 			prestepErrs[i] = fmt.Errorf("core: beta prestep session %d: %w", i, err)

@@ -28,12 +28,13 @@ type oracleRunner interface {
 func newOracleRunner(g *graph.Graph, oracles []overlay.TreeOracle, opts overlay.BatchOptions, shards int, labels []int) oracleRunner {
 	if shards > 0 && opts.Seed == nil {
 		return shard.NewGroup(g, oracles, shard.Options{
-			Shards:        shards,
-			Labels:        labels,
-			Workers:       opts.Workers,
-			SharedPlane:   opts.SharedPlane,
-			DisableRepair: opts.DisableRepair,
-			Dynamic:       opts.Dynamic,
+			Shards:               shards,
+			Labels:               labels,
+			Workers:              opts.Workers,
+			SharedPlane:          opts.SharedPlane,
+			DisableRepair:        opts.DisableRepair,
+			DisableSubtreeRepair: opts.DisableSubtreeRepair,
+			Dynamic:              opts.Dynamic,
 		})
 	}
 	return overlay.NewBatchRunnerOpts(g, oracles, opts)

@@ -59,10 +59,12 @@ type WarmOptions struct {
 	// Workers sets the oracle worker-pool size (0 = GOMAXPROCS). Outputs are
 	// bit-identical for every worker count.
 	Workers int
-	// DisablePlane / DisableRepair forward to the anchor solves and the warm
-	// repair runner; see MaxConcurrentFlowOptions. Bit-identical either way.
-	DisablePlane  bool
-	DisableRepair bool
+	// DisablePlane / DisableRepair / DisableSubtreeRepair forward to the
+	// anchor solves and the warm repair runner; see
+	// MaxConcurrentFlowOptions. Bit-identical either way.
+	DisablePlane         bool
+	DisableRepair        bool
+	DisableSubtreeRepair bool
 	// Shards/ShardLabels forward to the anchor solves and the warm repair
 	// runner: the repair phases then evaluate oracles on per-AS shards
 	// behind the same price-message boundary as the cold phase loop (see
@@ -386,10 +388,11 @@ func (w *Warm) Refresh() error {
 func (w *Warm) ensureRunner() {
 	if w.runner == nil {
 		w.runner = newOracleRunner(w.g, append([]overlay.TreeOracle(nil), w.oracles...), overlay.BatchOptions{
-			Workers:       resolveWorkers(true, w.opts.Workers),
-			SharedPlane:   !w.opts.DisablePlane,
-			DisableRepair: w.opts.DisableRepair,
-			Dynamic:       true,
+			Workers:              resolveWorkers(true, w.opts.Workers),
+			SharedPlane:          !w.opts.DisablePlane,
+			DisableRepair:        w.opts.DisableRepair,
+			DisableSubtreeRepair: w.opts.DisableSubtreeRepair,
+			Dynamic:              true,
 		}, w.opts.Shards, w.opts.ShardLabels)
 	}
 }
@@ -603,7 +606,8 @@ func (w *Warm) cold() error {
 	res, err := MaxConcurrentFlow(p, MaxConcurrentFlowOptions{
 		Epsilon: w.eps, Parallel: true, Workers: w.opts.Workers,
 		DisablePlane: w.opts.DisablePlane, DisableRepair: w.opts.DisableRepair,
-		Shards: w.opts.Shards, ShardLabels: w.opts.ShardLabels,
+		DisableSubtreeRepair: w.opts.DisableSubtreeRepair,
+		Shards:               w.opts.Shards, ShardLabels: w.opts.ShardLabels,
 		capture: cap,
 	})
 	if err != nil {

@@ -41,12 +41,14 @@ type FaultSolveConfig struct {
 	// TwoLevelASes switches to the paper's two-level AS/router topology (the
 	// natural shard partition); 0 keeps flat Waxman.
 	TwoLevelASes int
-	// Workers / DisablePlane / DisableRepair / Shards are the wall-clock
-	// toggles under test: outputs must be bit-identical across all of them.
-	Workers       int
-	DisablePlane  bool
-	DisableRepair bool
-	Shards        int
+	// Workers / DisablePlane / DisableRepair / DisableSubtreeRepair /
+	// Shards are the wall-clock toggles under test: outputs must be
+	// bit-identical across all of them.
+	Workers              int
+	DisablePlane         bool
+	DisableRepair        bool
+	DisableSubtreeRepair bool
+	Shards               int
 	// Rounds is the number of oracle rounds (default 10). Between rounds
 	// every returned tree's edges take a multiplicative length bump of
 	// (1 + BumpEpsilon·n_e), the Garg–Könemann update shape.
@@ -164,20 +166,22 @@ func FaultSolveRun(seed uint64, cfg FaultSolveConfig) (*FaultSolveReport, error)
 	var group *shard.Group
 	if cfg.Shards > 0 {
 		group = shard.NewGroup(g, si.Problem.Oracles, shard.Options{
-			Shards:        cfg.Shards,
-			Labels:        si.Net.ASOf,
-			Workers:       cfg.Workers,
-			SharedPlane:   !cfg.DisablePlane,
-			DisableRepair: cfg.DisableRepair,
-			Dynamic:       true,
+			Shards:               cfg.Shards,
+			Labels:               si.Net.ASOf,
+			Workers:              cfg.Workers,
+			SharedPlane:          !cfg.DisablePlane,
+			DisableRepair:        cfg.DisableRepair,
+			DisableSubtreeRepair: cfg.DisableSubtreeRepair,
+			Dynamic:              true,
 		})
 		runner = group
 	} else {
 		runner = overlay.NewBatchRunnerOpts(g, si.Problem.Oracles, overlay.BatchOptions{
-			Workers:       cfg.Workers,
-			SharedPlane:   !cfg.DisablePlane,
-			DisableRepair: cfg.DisableRepair,
-			Dynamic:       true,
+			Workers:              cfg.Workers,
+			SharedPlane:          !cfg.DisablePlane,
+			DisableRepair:        cfg.DisableRepair,
+			DisableSubtreeRepair: cfg.DisableSubtreeRepair,
+			Dynamic:              true,
 		})
 	}
 	defer runner.Close()

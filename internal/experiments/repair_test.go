@@ -7,14 +7,15 @@ import (
 	"overcast/internal/workload"
 )
 
-// TestRepairToggleBitIdenticalScenarios sweeps the dirty-source-repair
-// toggle against every registered workload scenario at workers 1/2/8: the
-// arbitrary-routing MaxFlow outputs (rates, tree counts, op counts) must be
-// bitwise independent of both knobs, and repair must have skipped at least
-// one refill somewhere in the sweep so the invariant is not pinned
+// TestRepairToggleBitIdenticalScenarios sweeps the dirty-source-repair and
+// subtree-repair toggles against every registered workload scenario at
+// workers 1/2/8: the arbitrary-routing MaxFlow outputs (rates, tree counts,
+// op counts) must be bitwise independent of all three knobs, repair must
+// have skipped at least one refill somewhere in the sweep, and the subtree
+// path must have fired somewhere too — neither invariant may be pinned
 // vacuously.
 func TestRepairToggleBitIdenticalScenarios(t *testing.T) {
-	totalSkipped := 0
+	totalSkipped, totalSubtree := 0, 0
 	for _, scenario := range workload.Names() {
 		si, err := NewScaleInstance(5151, ScaleConfig{
 			Nodes: 150, Sessions: 8, Scenario: scenario, Arbitrary: true,
@@ -29,14 +30,23 @@ func TestRepairToggleBitIdenticalScenarios(t *testing.T) {
 		}
 		var base *fp
 		for _, workers := range []int{1, 2, 8} {
-			for _, disableRepair := range []bool{false, true} {
+			for _, mode := range []struct {
+				disableRepair, disableSubtree bool
+			}{{false, false}, {false, true}, {true, true}} {
 				sol, err := core.MaxFlow(si.Problem, core.MaxFlowOptions{
-					Epsilon: 0.35, Parallel: true, Workers: workers, DisableRepair: disableRepair,
+					Epsilon: 0.35, Parallel: true, Workers: workers,
+					DisableRepair: mode.disableRepair, DisableSubtreeRepair: mode.disableSubtree,
 				})
 				if err != nil {
-					t.Fatalf("%s workers=%d repair=%v: %v", scenario, workers, !disableRepair, err)
+					t.Fatalf("%s workers=%d repair=%v subtree=%v: %v",
+						scenario, workers, !mode.disableRepair, !mode.disableSubtree, err)
 				}
 				totalSkipped += sol.Plane.PlaneSkipped
+				totalSubtree += sol.Plane.PlaneSubtreeRepaired
+				if mode.disableSubtree && sol.Plane.PlaneSubtreeRepaired != 0 {
+					t.Fatalf("%s workers=%d: subtree disabled but PlaneSubtreeRepaired=%d",
+						scenario, workers, sol.Plane.PlaneSubtreeRepaired)
+				}
 				got := fp{mstOps: sol.MSTOps}
 				for i := range si.Sessions {
 					got.rates[i] = sol.SessionRate(i)
@@ -47,14 +57,17 @@ func TestRepairToggleBitIdenticalScenarios(t *testing.T) {
 					continue
 				}
 				if got != *base {
-					t.Fatalf("%s workers=%d repair=%v: fingerprint differs:\n%+v\nvs\n%+v",
-						scenario, workers, !disableRepair, got, *base)
+					t.Fatalf("%s workers=%d repair=%v subtree=%v: fingerprint differs:\n%+v\nvs\n%+v",
+						scenario, workers, !mode.disableRepair, !mode.disableSubtree, got, *base)
 				}
 			}
 		}
 	}
 	if totalSkipped == 0 {
 		t.Fatal("repair never skipped a refill across any scenario — the toggle test is vacuous")
+	}
+	if totalSubtree == 0 {
+		t.Fatal("subtree repair never fired across any scenario — the toggle test is vacuous")
 	}
 }
 

@@ -102,9 +102,10 @@ func reportRow(scenario, tier, solver string, si *ScaleInstance, sol *core.Solut
 // instance of an MF-vs-MCF report. Rows are bit-identical for every value
 // (the determinism gate sweeps them).
 type ReportSolverOptions struct {
-	Workers       int
-	DisablePlane  bool
-	DisableRepair bool
+	Workers              int
+	DisablePlane         bool
+	DisableRepair        bool
+	DisableSubtreeRepair bool
 	// Shards runs each instance's solvers on price-exchanging shards (see
 	// core.MaxFlowOptions.Shards); 0 = unsharded.
 	Shards int
@@ -138,7 +139,9 @@ func MFvsMCFReport(seed uint64, eps float64, solver ReportSolverOptions, scenari
 			si, err := NewScaleInstance(seed+uint64(100*sci+ti), ScaleConfig{
 				Nodes: tier.Nodes, Sessions: tier.Sessions, Scenario: name,
 				Workers: solver.Workers, DisablePlane: solver.DisablePlane,
-				DisableRepair: solver.DisableRepair, Shards: solver.Shards,
+				DisableRepair:        solver.DisableRepair,
+				DisableSubtreeRepair: solver.DisableSubtreeRepair,
+				Shards:               solver.Shards,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: report %s/%s: %w", name, tier.Name, err)

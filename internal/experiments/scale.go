@@ -45,6 +45,9 @@ type ScaleConfig struct {
 	// DisableRepair turns off the plane's cross-round dirty-source repair
 	// (see core.MaxFlowOptions.DisableRepair). Also wall-clock only.
 	DisableRepair bool
+	// DisableSubtreeRepair turns off repair's incremental subtree path (see
+	// core.MaxFlowOptions.DisableSubtreeRepair). Also wall-clock only.
+	DisableSubtreeRepair bool
 	// Shards runs the solvers' oracle rounds on per-AS shards behind the
 	// price-exchange boundary (see core.MaxFlowOptions.Shards), partitioned
 	// by the instance's AS labels when the topology has them (TwoLevelASes)
@@ -194,7 +197,8 @@ func (si *ScaleInstance) MaxFlow(eps float64, parallel bool) (*core.Solution, er
 	return core.MaxFlow(si.Problem, core.MaxFlowOptions{
 		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers,
 		DisablePlane: si.Config.DisablePlane, DisableRepair: si.Config.DisableRepair,
-		Shards: si.Config.Shards, ShardLabels: si.Net.ASOf,
+		DisableSubtreeRepair: si.Config.DisableSubtreeRepair,
+		Shards:               si.Config.Shards, ShardLabels: si.Net.ASOf,
 	})
 }
 
@@ -205,7 +209,8 @@ func (si *ScaleInstance) MCF(eps float64, parallel bool) (*core.MCFResult, error
 	return core.MaxConcurrentFlow(si.Problem, core.MaxConcurrentFlowOptions{
 		Epsilon: eps, Parallel: parallel, Workers: si.Config.Workers,
 		DisablePlane: si.Config.DisablePlane, DisableRepair: si.Config.DisableRepair,
-		Shards: si.Config.Shards, ShardLabels: si.Net.ASOf,
+		DisableSubtreeRepair: si.Config.DisableSubtreeRepair,
+		Shards:               si.Config.Shards, ShardLabels: si.Net.ASOf,
 	})
 }
 

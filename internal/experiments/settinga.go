@@ -42,6 +42,10 @@ type SettingA struct {
 	// repair (see core.MaxFlowOptions.DisableRepair); results are
 	// bit-identical either way.
 	SolverDisableRepair bool
+	// SolverDisableSubtreeRepair turns off repair's incremental subtree
+	// path (see core.MaxFlowOptions.DisableSubtreeRepair); results are
+	// bit-identical either way.
+	SolverDisableSubtreeRepair bool
 	// SolverDisablePlane turns off the solvers' shared SSSP plane (see
 	// core.MaxFlowOptions.DisablePlane); results are bit-identical either
 	// way.
@@ -130,7 +134,7 @@ func (a *SettingA) MaxFlowSweep(ratios []float64, arbitrary bool) ([]FlowRow, []
 	sols := make([]*core.Solution, len(ratios))
 	errs := make([]error, len(ratios))
 	parallelFor(len(ratios), func(i int) {
-		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i]), Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane, DisableRepair: a.SolverDisableRepair})
+		sol, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: core.RatioToEpsilon(ratios[i]), Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane, DisableRepair: a.SolverDisableRepair, DisableSubtreeRepair: a.SolverDisableSubtreeRepair})
 		if err != nil {
 			errs[i] = err
 			return
@@ -176,11 +180,12 @@ func (a *SettingA) MCFSweep(ratios []float64, arbitrary bool) ([]MCFRow, []*core
 	errs := make([]error, len(ratios))
 	parallelFor(len(ratios), func(i int) {
 		res, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
-			Epsilon:       core.MCFRatioToEpsilon(ratios[i]),
-			SurplusPass:   true,
-			Workers:       a.SolverWorkers,
-			DisablePlane:  a.SolverDisablePlane,
-			DisableRepair: a.SolverDisableRepair,
+			Epsilon:              core.MCFRatioToEpsilon(ratios[i]),
+			SurplusPass:          true,
+			Workers:              a.SolverWorkers,
+			DisablePlane:         a.SolverDisablePlane,
+			DisableRepair:        a.SolverDisableRepair,
+			DisableSubtreeRepair: a.SolverDisableSubtreeRepair,
 		})
 		if err != nil {
 			errs[i] = err
@@ -270,6 +275,7 @@ func (a *SettingA) TreeLimitSweep(cfg TreeLimitConfig) (*TreeLimitResult, error)
 	base, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{
 		Epsilon: core.MCFRatioToEpsilon(cfg.BaseRatio), SurplusPass: true,
 		Workers: a.SolverWorkers, DisablePlane: a.SolverDisablePlane, DisableRepair: a.SolverDisableRepair,
+		DisableSubtreeRepair: a.SolverDisableSubtreeRepair,
 	})
 	if err != nil {
 		return nil, err

@@ -24,6 +24,10 @@ type SettingB struct {
 	// repair (see core.MaxFlowOptions.DisableRepair); results are
 	// bit-identical either way.
 	SolverDisableRepair bool
+	// SolverDisableSubtreeRepair turns off repair's incremental subtree
+	// path (see core.MaxFlowOptions.DisableSubtreeRepair); results are
+	// bit-identical either way.
+	SolverDisableSubtreeRepair bool
 	// SolverDisablePlane turns off the solvers' shared SSSP plane (see
 	// core.MaxFlowOptions.DisablePlane); results are bit-identical either
 	// way.
@@ -183,11 +187,11 @@ func (b *SettingB) runCell(count, size int, cfg GridConfig, r *rng.RNG) (*GridCe
 		return nil, err
 	}
 	eps := core.RatioToEpsilon(cfg.Ratio)
-	mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: eps, Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair, Shards: b.SolverShards, ShardLabels: b.Net.ASOf})
+	mf, err := core.MaxFlow(p, core.MaxFlowOptions{Epsilon: eps, Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair, DisableSubtreeRepair: b.SolverDisableSubtreeRepair, Shards: b.SolverShards, ShardLabels: b.Net.ASOf})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cell (%d,%d) MaxFlow: %w", count, size, err)
 	}
-	mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{Epsilon: core.MCFRatioToEpsilon(cfg.Ratio), Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair, Shards: b.SolverShards, ShardLabels: b.Net.ASOf})
+	mcf, err := core.MaxConcurrentFlow(p, core.MaxConcurrentFlowOptions{Epsilon: core.MCFRatioToEpsilon(cfg.Ratio), Workers: b.SolverWorkers, DisablePlane: b.SolverDisablePlane, DisableRepair: b.SolverDisableRepair, DisableSubtreeRepair: b.SolverDisableSubtreeRepair, Shards: b.SolverShards, ShardLabels: b.Net.ASOf})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cell (%d,%d) MCF: %w", count, size, err)
 	}

@@ -33,6 +33,9 @@ type WarmChurnConfig struct {
 	Workers          int     // solver worker pool (0 = GOMAXPROCS); outputs are worker-count independent
 	DisablePlane     bool
 	DisableRepair    bool
+	// DisableSubtreeRepair turns off the plane's incremental subtree repair
+	// (see overcast.AllocatorOptions); outputs are toggle-independent.
+	DisableSubtreeRepair bool
 	// Shards runs the allocator's refreshes on price-exchanging shards (see
 	// overcast.AllocatorOptions.Shards). 0 = unsharded; outputs are
 	// shard-count independent.
@@ -155,7 +158,8 @@ func WarmChurnRun(seed uint64, cfg WarmChurnConfig) (*WarmChurnReport, error) {
 	opts := overcast.AllocatorOptions{
 		Mu: cfg.Mu, Epsilon: cfg.Epsilon, Routing: routing,
 		Workers: cfg.Workers, DisablePlane: cfg.DisablePlane, DisableRepair: cfg.DisableRepair,
-		Shards: cfg.Shards,
+		DisableSubtreeRepair: cfg.DisableSubtreeRepair,
+		Shards:               cfg.Shards,
 	}
 	if cfg.ColdBaseline {
 		opts.RepairPhaseBudget = -1

@@ -50,6 +50,17 @@ type LengthStore struct {
 	// a sliding window over the most recent mutations.
 	journal    []EdgeID
 	firstEpoch Epoch // epoch represented by the state *before* journal[0]
+	// nonPos counts edges whose current length is not strictly positive
+	// (zero, negative, or NaN), maintained incrementally so AllPositive is
+	// O(1). Strict positivity is the certificate the subtree-repair path
+	// needs for pop-order bit-identity (see overlay.BatchRunner).
+	nonPos int
+	// minLB is a conservative lower bound on every length the ledger has
+	// ever held: the running minimum over the initial values and every
+	// written value. The true current minimum can be larger (values mostly
+	// grow), never smaller. Feeds MinLengthLB, the scale-separation half of
+	// the subtree-repair certificate.
+	minLB float64
 }
 
 // NewLengthStore returns a ledger over g with every edge length init, at
@@ -61,7 +72,16 @@ func NewLengthStore(g *Graph, init float64) *LengthStore {
 // NewLengthStoreFrom wraps vals (taking ownership) as the ledger's epoch-0
 // contents.
 func NewLengthStoreFrom(vals Lengths) *LengthStore {
-	return &LengthStore{vals: vals, lastTouch: make([]Epoch, len(vals))}
+	s := &LengthStore{vals: vals, lastTouch: make([]Epoch, len(vals)), minLB: infLen}
+	for _, v := range vals {
+		if !(v > 0) {
+			s.nonPos++
+		}
+		if v < s.minLB {
+			s.minLB = v
+		}
+	}
+	return s
 }
 
 // Values returns the live length slice for read-only use (oracle calls, path
@@ -86,13 +106,16 @@ func (s *LengthStore) LastTouched(e EdgeID) Epoch { return s.lastTouch[e] }
 // epoch as non-monotone, which forces full refills on repair-capable
 // consumers (shrinking an untouched-tree edge can re-route shortest paths).
 func (s *LengthStore) Bump(e EdgeID, factor float64) {
-	s.vals[e] *= factor
+	old := s.vals[e]
+	s.vals[e] = old * factor
+	s.repos(old, s.vals[e])
 	s.touch(e, factor < 1)
 }
 
 // Set assigns d_e = v and journals the touch as non-monotone (a wholesale
 // assignment can shrink).
 func (s *LengthStore) Set(e EdgeID, v float64) {
+	s.repos(s.vals[e], v)
 	s.vals[e] = v
 	s.touch(e, true)
 }
@@ -106,9 +129,57 @@ func (s *LengthStore) Set(e EdgeID, v float64) {
 // every sync epoch a shrink.
 func (s *LengthStore) Raise(e EdgeID, v float64) {
 	shrink := v < s.vals[e]
+	s.repos(s.vals[e], v)
 	s.vals[e] = v
 	s.touch(e, shrink)
 }
+
+// infLen is the sentinel minLB starts from (no length seen yet); it matches
+// the routing package's unreachable-distance sentinel.
+const infLen = 1e308
+
+// repos maintains the nonPos tally and the minLB running minimum across an
+// old -> new value transition. NaN compares false to everything, so it lands
+// on the non-positive side of both tests — the conservative direction — and
+// never lowers minLB (a NaN length already fails AllPositive, the gate that
+// matters).
+func (s *LengthStore) repos(old, new float64) {
+	op, np := old > 0, new > 0
+	if op && !np {
+		s.nonPos++
+	} else if !op && np {
+		s.nonPos--
+	}
+	if new < s.minLB {
+		s.minLB = new
+	}
+}
+
+// AllPositive reports whether every edge length is currently strictly
+// positive (> 0; NaN counts as not positive). O(1): the tally is maintained
+// by every mutation. It is the extra certificate subtree repair needs beyond
+// MonotoneSince: with strictly positive lengths every settled node's winning
+// parent pops at a strictly smaller key, so a resumed Dijkstra whose heap is
+// seeded with the whole intact frontier reproduces the full run's (key, id)
+// pop order — and therefore its tie-broken parent choices — exactly. Zero-
+// length edges would let a late-discovered equal-key node pop in a different
+// relative position and flip a tie.
+func (s *LengthStore) AllPositive() bool { return s.nonPos == 0 }
+
+// MinLengthLB returns a conservative lower bound on the current minimum edge
+// length: the running minimum over every value the ledger has ever held. It
+// is the scale-separation half of the subtree-repair certificate: strict
+// positivity alone does not make float keys strictly increase — an edge whose
+// length is below half an ulp of an accumulated distance rounds away
+// (dist + len == dist bitwise) and behaves exactly like a zero-length edge,
+// so equal-key pops can interleave differently between a resumed and a fresh
+// Dijkstra. Repair-capable consumers therefore also require
+// MinLengthLB() > maxRowDist * 2^-50, which guarantees every relaxation
+// strictly grows its key (see overlay.Plane). The bound is conservative:
+// values mostly grow, so the true minimum may be larger and the consumer
+// falls back to a full refill more often than strictly necessary — never
+// less.
+func (s *LengthStore) MinLengthLB() float64 { return s.minLB }
 
 func (s *LengthStore) touch(e EdgeID, shrink bool) {
 	s.epoch++

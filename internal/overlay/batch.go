@@ -57,6 +57,19 @@ type BatchOptions struct {
 	// repair on or off; the toggle exists for the determinism gate and perf
 	// comparisons.
 	DisableRepair bool
+	// DisableSubtreeRepair turns off the third per-row classification
+	// outcome, subtree repair, leaving the original skip-or-full-refill
+	// behavior: with it on (the default when repair is active), a row whose
+	// stored tree took touched edges is repaired by resuming Dijkstra over
+	// only the affected subtrees (routing.RepairSubtreesInto) whenever the
+	// bit-identity certificate holds — monotone ledger window, strictly
+	// positive lengths (LengthStore.AllPositive), an exact (never
+	// serviceable-skipped) row, and a known dirty-root set — and falls back
+	// to a full refill otherwise. Outputs are bit-identical with the toggle
+	// on or off (the repaired region is provably what a refill would
+	// produce); the toggle exists for the determinism gate and perf
+	// comparisons. No-op when DisableRepair is set.
+	DisableSubtreeRepair bool
 	// Seed optionally names a read-only plane whose rows were filled under
 	// lengths bitwise identical to the epoch-0 contents of the ledgers this
 	// runner will see. Rows first staged while the ledger is monotone-clean
@@ -114,7 +127,15 @@ type BatchRunner struct {
 	planeLive bool
 	filling   bool
 	repair    bool
+	subtree   bool
 	seed      *Plane
+	// walkedTo is the ledger epoch up to which the per-batch journal walk has
+	// fanned touches through the plane's inverted index (stagePlane replays
+	// (walkedTo, cur] once per batch, for all rows at once).
+	walkedTo graph.Epoch
+	// minLen is the batch ledger's MinLengthLB snapshot, taken at staging and
+	// passed to RepairRow for the post-repair scale-separation re-check.
+	minLen float64
 	// targets[src] is the static set of co-members whose reads row src
 	// serves; the dirty-source repair check walks exactly these stored
 	// paths. Built once at construction (nil when the plane is off).
@@ -136,10 +157,18 @@ type BatchRunner struct {
 	// epoch, published before the jobs fan out.
 	lastStore *graph.LengthStore
 	curEpoch  graph.Epoch
-	// staged/toFill are per-batch scratch: rows referenced by this batch and
-	// the subset that needs a Dijkstra.
-	staged []int32
-	toFill []int32
+	// staged/toFill/toRepair are per-batch scratch: rows referenced by this
+	// batch, the subset needing a full Dijkstra, and the subset taking a
+	// subtree repair. repairRoots[k] aliases the plane's pending dirty-root
+	// list for toRepair[k]; repairOut[k]/repairOK[k] are that slot's repaired
+	// node set and outcome, written by the worker that ran it and folded into
+	// metrics/index sequentially after the fill barrier.
+	staged      []int32
+	toFill      []int32
+	toRepair    []int32
+	repairRoots [][]graph.NodeID
+	repairOut   [][]graph.NodeID
+	repairOK    []bool
 
 	// Parallel mode: persistent workers fed per-batch via jobs. d, ids and
 	// out describe the current batch; they are published before the job sends
@@ -192,13 +221,21 @@ func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions)
 	}
 	r := &BatchRunner{
 		g: g, oracles: oracles, workers: workers,
-		plane: plane, repair: !opts.DisableRepair, seed: opts.Seed,
-		out: make([]BatchResult, len(oracles)),
+		plane: plane, repair: !opts.DisableRepair,
+		subtree: !opts.DisableRepair && !opts.DisableSubtreeRepair,
+		seed:    opts.Seed,
+		out:     make([]BatchResult, len(oracles)),
 	}
 	if plane != nil && r.repair {
 		r.targets = planeTargets(oracles)
 		r.cache = make([]treeCacheEntry, len(oracles))
 		r.useCache = make([]bool, len(oracles))
+		if r.subtree {
+			// The inverted edge->rows index only serves subtree
+			// classification; full-refill mode keeps the cheaper per-row
+			// journal-replay check and pays nothing for index maintenance.
+			plane.EnableIndex()
+		}
 	}
 	if workers == 1 {
 		r.seq = NewScratch(g)
@@ -210,7 +247,7 @@ func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions)
 			sc := NewScratch(g)
 			for pos := range r.jobs {
 				if r.filling {
-					r.plane.FillRow(int(r.toFill[pos]), r.d, sc.dijkstra())
+					r.fillJob(pos, sc)
 				} else {
 					r.eval(pos, sc)
 				}
@@ -219,6 +256,19 @@ func NewBatchRunnerOpts(g *graph.Graph, oracles []TreeOracle, opts BatchOptions)
 		}()
 	}
 	return r
+}
+
+// fillJob runs one stage-1 job: positions below len(toFill) are full row
+// fills, the rest are subtree repairs. Each job writes only its own row's
+// arrays and its own repairOut/repairOK slot, so jobs parallelize freely.
+func (r *BatchRunner) fillJob(pos int, sc *Scratch) {
+	if pos < len(r.toFill) {
+		r.plane.FillRow(int(r.toFill[pos]), r.d, sc.dijkstra())
+		return
+	}
+	k := pos - len(r.toFill)
+	r.repairOut[k], r.repairOK[k] = r.plane.RepairRow(
+		int(r.toRepair[k]), r.d, sc.dijkstra(), r.minLen, r.repairRoots[k], r.repairOut[k][:0])
 }
 
 // Workers returns the resolved worker-pool size.
@@ -361,6 +411,19 @@ func (r *BatchRunner) rowCurrent(ls *graph.LengthStore, row int) bool {
 			return true
 		}
 	}
+	return r.rowServiceable(ls, row)
+}
+
+// rowServiceable is the exact target-path walk of the dirty-source check: it
+// reports whether every stored source->target path of row is untouched since
+// the row's fill epoch (LastTouched stamps are complete history, so this
+// needs no journal window). True proves the read-visible parts of the row
+// bitwise current — but not the whole row: unread parts may be stale, which
+// is why a skip validated only by this walk demotes the row from exact to
+// serviceable (subtree repair must not seed from its frontier afterwards).
+func (r *BatchRunner) rowServiceable(ls *graph.LengthStore, row int) bool {
+	fill := r.plane.FillEpoch(row)
+	parents := r.plane.ParentRow(row)
 	src := r.plane.Source(row)
 	for _, t := range r.targets[src] {
 		for v := t; v != src; {
@@ -412,13 +475,16 @@ func mergePlaneTargets(targets map[graph.NodeID][]graph.NodeID, members []graph.
 	}
 }
 
-// stagePlane runs stage 1 of a batch: walk the distinct member sources of
-// the batch's plane-aware oracles (in batch order — canonical row
-// assignment), prove stored rows current where the ledger allows (repair),
-// copy first-staged rows from the seed where one applies, and fill the rest
-// under the batch's snapshot, fanned across the worker pool in parallel
-// mode. No-op when the plane is disabled or the batch has no plane-aware
-// oracle.
+// stagePlane runs stage 1 of a batch: with subtree repair enabled, replay the
+// ledger journal once through the plane's inverted edge->rows index
+// (accumulating per-row dirty subtree roots); walk the distinct member
+// sources of the batch's plane-aware oracles (in batch order — canonical row
+// assignment), classify each stored row — current (skip),
+// subtree-repairable, seedable (copy), or needing a full fill — and fan the
+// fills and repairs across the worker pool in parallel mode. With subtree
+// repair disabled the index is never maintained and classification falls
+// back to the per-row journal-replay check. No-op when the plane is disabled
+// or the batch has no plane-aware oracle.
 func (r *BatchRunner) stagePlane(ls *graph.LengthStore, n int) {
 	r.planeLive = false
 	if r.plane == nil {
@@ -432,10 +498,31 @@ func (r *BatchRunner) stagePlane(ls *graph.LengthStore, n int) {
 			r.cache[i] = treeCacheEntry{}
 		}
 		r.lastStore = ls
+		r.walkedTo = ls.Epoch()
 	}
 	r.plane.BeginBatch()
 	cur := ls.Epoch()
 	r.curEpoch = cur
+	r.minLen = ls.MinLengthLB()
+	if r.subtree && r.walkedTo < cur {
+		// The per-batch journal walk: fan each touch in (walkedTo, cur]
+		// through the index to the rows whose stored trees use the edge —
+		// O(touched x affected rows) for the whole batch, replacing the old
+		// per-referenced-row journal replay. Rows filled this batch clear
+		// their dirt after the fill, so accumulated dirt always describes
+		// history since the row's last content write.
+		if !ls.ForEachTouched(r.walkedTo, func(e graph.EdgeID) bool {
+			r.plane.MarkTouched(e)
+			return false
+		}) {
+			// The journal window no longer covers the walk position (a fault
+			// burst, or rounds without a staged batch): per-row dirt is
+			// unknowable, so latch every row onto the conservative target-
+			// walk path until its next content write.
+			r.plane.loseAllDirty()
+		}
+		r.walkedTo = cur
+	}
 	requests := 0
 	r.staged = r.staged[:0]
 	for pos := 0; pos < n; pos++ {
@@ -462,20 +549,29 @@ func (r *BatchRunner) stagePlane(ls *graph.LengthStore, n int) {
 	r.metrics.PlaneRounds++
 	r.metrics.PlaneRequests += requests
 
-	// Classify: current (skip), seedable (copy), or fill.
+	// Classify: current (skip), subtree-repairable, seedable (copy), or fill.
 	r.toFill = r.toFill[:0]
+	r.toRepair = r.toRepair[:0]
+	r.repairRoots = r.repairRoots[:0]
 	for _, row32 := range r.staged {
 		row := int(row32)
-		if r.plane.FillEpoch(row) < 0 {
+		fill := r.plane.FillEpoch(row)
+		if fill < 0 {
 			// New this batch. A seed row is the epoch-0 content; it is
 			// current iff nothing has shrunk and nothing in its tree grew
-			// since epoch 0 — which the standard check verifies after the
-			// copy (fill==0 vs cur).
+			// since epoch 0 — which the pre-index check verifies after the
+			// copy (fill==0 vs cur). The index never saw the copied tree, so
+			// its dirt state says nothing about it: a row accepted via the
+			// target walk is only serviceable, hence exact stays false and
+			// subtree repair waits for the row's first real fill.
 			if r.seed != nil && r.plane.CopyRow(row, r.seed, r.plane.Source(row)) {
 				r.plane.SetFillEpoch(row, 0)
 				if cur == 0 || (r.repair && r.rowCurrent(ls, row)) {
 					r.plane.SetFillEpoch(row, cur)
 					r.plane.SetDijkstraEpoch(row, cur)
+					r.plane.setExact(row, cur == 0)
+					r.plane.clearDirty(row)
+					r.plane.indexRow(row)
 					r.metrics.PlaneSeeded++
 					continue
 				}
@@ -485,7 +581,21 @@ func (r *BatchRunner) stagePlane(ls *graph.LengthStore, n int) {
 			r.toFill = append(r.toFill, int32(row))
 			continue
 		}
-		if r.repair {
+		if !r.repair {
+			r.toFill = append(r.toFill, int32(row))
+			continue
+		}
+		if fill == cur {
+			r.plane.Validate(row)
+			r.metrics.PlaneSkipped++
+			continue
+		}
+		if !r.subtree {
+			// No index maintained: classify with the pre-index per-row check
+			// (journal replay against the whole stored tree, else the exact
+			// target-path walk). Skip/refill decisions may differ from the
+			// indexed path's, but both only skip provably current content, so
+			// outputs are bitwise identical either way.
 			if r.rowCurrent(ls, row) {
 				r.plane.SetFillEpoch(row, cur)
 				r.plane.Validate(row)
@@ -493,20 +603,86 @@ func (r *BatchRunner) stagePlane(ls *graph.LengthStore, n int) {
 				continue
 			}
 			r.metrics.PlaneRepaired++
+			r.toFill = append(r.toFill, int32(row))
+			continue
 		}
+		if !ls.MonotoneSince(fill) {
+			// Some length shrank since this row was filled (an underlay
+			// recovery or downward drift mirrored into the ledger): a shrunk
+			// edge outside the stored tree can re-route shortest paths, so no
+			// touched-edge argument applies — degrade deterministically to a
+			// full refill.
+			r.metrics.PlaneNonMonotone++
+			r.metrics.PlaneRepaired++
+			r.toFill = append(r.toFill, int32(row))
+			continue
+		}
+		if !r.plane.dirtyNew(row) {
+			// No touched edge has entered the row's stored tree since its
+			// last validation (the index walk would have recorded it), so the
+			// whole stored row — or, for a row demoted to serviceable, its
+			// read-visible paths — is bitwise what a recompute would produce.
+			// Epoch advance composes exactly as the old per-row journal
+			// check: (fill,prev] accounted + (prev,cur] clean.
+			r.plane.SetFillEpoch(row, cur)
+			r.plane.Validate(row)
+			r.metrics.PlaneSkipped++
+			continue
+		}
+		if r.rowServiceable(ls, row) {
+			// Touched tree edges, but none on a stored read path: the row
+			// stays serviceable (unread parts may now be stale, so it is no
+			// longer exact). The walk just verified every read path clean up
+			// to cur, and read paths are a subset of the stored tree the
+			// index watches, so the accounted dirt can be dropped outright:
+			// the row skips in O(1) until MarkTouched records a new touch
+			// inside its stored tree. The walk-skip stays ahead of subtree
+			// repair on purpose — it leaves the row's Dijkstra epoch (and
+			// with it the tree cache) untouched, where a repair would force
+			// downstream tree reassembly for rows whose reads never change.
+			r.plane.SetFillEpoch(row, cur)
+			r.plane.Validate(row)
+			r.plane.setExact(row, false)
+			r.plane.clearDirty(row)
+			r.metrics.PlaneSkipped++
+			continue
+		}
+		if r.subtree && r.plane.rowExact(row) && !r.plane.dirtyLost[row] && ls.AllPositive() &&
+			scaleSafe(ls.MinLengthLB(), r.plane.maxDist[row]) {
+			// A read path is dirty, so the row must be recomputed — exactly
+			// where the old classification hit its repair floor with a full
+			// refill. The bit-identity certificate holds (monotone window
+			// checked above, exact content, complete dirty-root set, strictly
+			// positive lengths, and lengths large enough relative to the
+			// row's distances that every relaxation strictly grows its float
+			// key — without that an underflowing length behaves like a
+			// zero-length edge and ties can flip): resume Dijkstra over just
+			// the dirty subtrees. Epochs advance now so decideTreeCache sees
+			// the recompute; the repair itself runs with the fills.
+			r.toRepair = append(r.toRepair, int32(row))
+			r.repairRoots = append(r.repairRoots, r.plane.dirtyRoots[row])
+			r.plane.SetFillEpoch(row, cur)
+			r.plane.SetDijkstraEpoch(row, cur)
+			continue
+		}
+		r.metrics.PlaneRepaired++
 		r.toFill = append(r.toFill, int32(row))
 	}
-	nf := len(r.toFill)
-	r.metrics.PlaneSources += nf
+	nf, nr := len(r.toFill), len(r.toRepair)
+	r.metrics.PlaneSources += nf + nr
 	for _, row := range r.toFill {
 		r.plane.SetFillEpoch(int(row), cur)
 		r.plane.SetDijkstraEpoch(int(row), cur)
 	}
 	r.decideTreeCache(n)
-	if nf == 0 {
+	if nf+nr == 0 {
 		return
 	}
-	if r.workers == 1 || nf == 1 {
+	for len(r.repairOut) < nr {
+		r.repairOut = append(r.repairOut, nil)
+		r.repairOK = append(r.repairOK, false)
+	}
+	if r.workers == 1 || nf+nr == 1 {
 		if r.seq == nil {
 			r.seq = NewScratch(r.g)
 		}
@@ -514,15 +690,42 @@ func (r *BatchRunner) stagePlane(ls *graph.LengthStore, n int) {
 		for _, row := range r.toFill {
 			r.plane.FillRow(int(row), r.d, sp)
 		}
-		return
+		for k, row := range r.toRepair {
+			r.repairOut[k], r.repairOK[k] = r.plane.RepairRow(
+				int(row), r.d, sp, r.minLen, r.repairRoots[k], r.repairOut[k][:0])
+		}
+	} else {
+		r.filling = true
+		r.wg.Add(nf + nr)
+		for pos := 0; pos < nf+nr; pos++ {
+			r.jobs <- pos
+		}
+		r.wg.Wait()
+		r.filling = false
 	}
-	r.filling = true
-	r.wg.Add(nf)
-	for pos := 0; pos < nf; pos++ {
-		r.jobs <- pos
+	// Post-barrier bookkeeping, single-writer again: fold repair outcomes
+	// into the metrics, register the rewritten parent edges in the index, and
+	// reset consumed dirt (every row below just became exact content).
+	for _, row := range r.toFill {
+		r.plane.clearDirty(int(row))
+		r.plane.setExact(int(row), true)
+		r.plane.indexRow(int(row))
 	}
-	r.wg.Wait()
-	r.filling = false
+	for k, row32 := range r.toRepair {
+		row := int(row32)
+		if r.repairOK[k] {
+			r.metrics.PlaneSubtreeRepaired++
+			r.metrics.PlaneSubtreeNodes += len(r.repairOut[k])
+			r.plane.indexNodes(row, r.repairOut[k])
+		} else {
+			// The subtree path bailed (oversized S or a defensive invariant
+			// miss) and RepairRow ran the fallback refill.
+			r.metrics.PlaneRepaired++
+			r.plane.indexRow(row)
+		}
+		r.plane.clearDirty(row)
+		r.plane.setExact(row, true)
+	}
 }
 
 // decideTreeCache precomputes, per batch slot, whether the oracle's cached

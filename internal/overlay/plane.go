@@ -66,6 +66,22 @@ type Plane struct {
 	// Reference deduplicates within a batch in O(1).
 	refStamp []uint32
 	stamp    uint32
+
+	// Inverted edge->rows index and the per-row dirt/exactness state it
+	// feeds (see plane_index.go); idx is nil until EnableIndex. exact,
+	// dirtyRoots and dirtyLost are maintained unconditionally
+	// (they are cheap) but only consulted by index-driven classification.
+	idx        *planeIndex
+	exact      []bool
+	dirtyRoots [][]graph.NodeID
+	dirtyLost  []bool
+	// maxDist[row] is the largest finite stored distance in the row (0 when
+	// nothing reachable), maintained by every content write. It is the row
+	// side of the subtree-repair scale-separation certificate: repair is
+	// bit-exact only while every edge length exceeds the largest distance by
+	// enough that float addition strictly grows every key (see
+	// graph.LengthStore.MinLengthLB and rowScaleSafe).
+	maxDist []float64
 }
 
 // NewPlane returns an empty plane over g. Row storage grows on first use and
@@ -78,12 +94,21 @@ func NewPlane(g *graph.Graph) *Plane {
 	return &Plane{g: g, rowOf: rowOf, stamp: 1}
 }
 
-// Reset forgets every staged source, keeping row storage for reuse.
+// Reset forgets every staged source, keeping row storage for reuse. With the
+// inverted index enabled it additionally drops every index entry — row slots
+// are reused across cycles, so a leftover entry could self-validate against a
+// re-staged row's stale parent array. That makes Reset O(edges) instead of
+// O(staged sources) for index-enabled planes; the only indexed consumer (the
+// batch runner) resets solely on a ledger swap, where a full reclassification
+// is due anyway.
 func (p *Plane) Reset() {
 	for _, s := range p.sources {
 		p.rowOf[s] = -1
 	}
 	p.sources = p.sources[:0]
+	if p.idx != nil {
+		p.idx.clear()
+	}
 }
 
 // BeginBatch opens a new validation stamp: rows validated before this call
@@ -117,6 +142,10 @@ func (p *Plane) Stage(src graph.NodeID) bool {
 		p.dijkstraEpoch = append(p.dijkstraEpoch, -1)
 		p.valid = append(p.valid, 0)
 		p.refStamp = append(p.refStamp, 0)
+		p.exact = append(p.exact, false)
+		p.dirtyRoots = append(p.dirtyRoots, nil)
+		p.dirtyLost = append(p.dirtyLost, false)
+		p.maxDist = append(p.maxDist, 0)
 	}
 	p.rowOf[src] = int32(row)
 	p.sources = append(p.sources, src)
@@ -124,6 +153,10 @@ func (p *Plane) Stage(src graph.NodeID) bool {
 	p.dijkstraEpoch[row] = -1
 	p.valid[row] = 0
 	p.refStamp[row] = p.stamp
+	p.exact[row] = false
+	p.dirtyRoots[row] = p.dirtyRoots[row][:0]
+	p.dirtyLost[row] = false
+	p.maxDist[row] = 0
 	return true
 }
 
@@ -186,7 +219,70 @@ func (p *Plane) ParentRow(row int) []graph.EdgeID { return p.parents[row] }
 // row's stamp slot is row-private, so concurrent fills do not race.
 func (p *Plane) FillRow(row int, d graph.Lengths, sp *routing.DijkstraScratch) {
 	sp.ShortestPathsInto(p.g, p.sources[row], d, p.dists[row], p.parents[row])
+	p.maxDist[row] = maxFiniteDist(p.dists[row])
 	p.valid[row] = p.stamp
+}
+
+// unreachableDist mirrors the routing package's unreachable sentinel: stored
+// distances are either strictly below it (reachable) or exactly it.
+const unreachableDist = 1e308
+
+func maxFiniteDist(dist []float64) float64 {
+	m := 0.0
+	for _, v := range dist {
+		if v > m && v < unreachableDist {
+			m = v
+		}
+	}
+	return m
+}
+
+// RepairRow incrementally repairs row's stored SSSP arrays under d by
+// resuming Dijkstra over the stored subtrees below roots
+// (routing.RepairSubtreesInto — the batch driver supplies the pending dirty
+// roots and certifies the bit-identity preconditions), falling back to a full
+// FillRow when the repair bails. minLen is the ledger's MinLengthLB: the
+// driver gates repair on the scale-separation certificate against the
+// distances the row held *before* the repair, but resettled subtrees only
+// grow, so the certificate is re-checked here against the post-repair
+// distances and the fallback refill runs if the grown row broke it. Either
+// way the row ends valid for the current stamp and bitwise identical to a
+// fresh fill. It returns the repaired node set appended to out and whether
+// the subtree path succeeded (false = the fallback refill ran). Concurrency
+// contract is FillRow's: distinct rows may repair concurrently, sp must be
+// goroutine-private.
+func (p *Plane) RepairRow(row int, d graph.Lengths, sp *routing.DijkstraScratch, minLen float64, roots, out []graph.NodeID) ([]graph.NodeID, bool) {
+	repaired, ok := sp.RepairSubtreesInto(p.g, p.sources[row], d, p.dists[row], p.parents[row], roots, out)
+	if ok {
+		m := p.maxDist[row]
+		for _, v := range repaired {
+			if dv := p.dists[row][v]; dv > m && dv < unreachableDist {
+				m = dv
+			}
+		}
+		if scaleSafe(minLen, m) {
+			p.maxDist[row] = m
+		} else {
+			ok = false
+		}
+	}
+	if !ok {
+		sp.ShortestPathsInto(p.g, p.sources[row], d, p.dists[row], p.parents[row])
+		p.maxDist[row] = maxFiniteDist(p.dists[row])
+	}
+	p.valid[row] = p.stamp
+	return repaired, ok
+}
+
+// scaleSafe is the scale-separation certificate: with every edge length at
+// least minLen and every relevant key at most maxDist, minLen > maxDist*2^-50
+// keeps each length at least a few ulps of any key it is added to, so every
+// relaxation strictly grows its float key. That restores the equal-key
+// determinism argument (routing.RepairSubtreesInto, step 3) that strict
+// positivity alone cannot give: a length below half an ulp of a distance
+// rounds away (dist+len == dist bitwise) and behaves like a zero-length edge.
+func scaleSafe(minLen, maxDist float64) bool {
+	return minLen > maxDist*0x1p-50
 }
 
 // CopyRow copies src's row content from seed (which must have it staged and
@@ -202,6 +298,7 @@ func (p *Plane) CopyRow(row int, seed *Plane, src graph.NodeID) bool {
 	}
 	copy(p.dists[row], seed.dists[srow])
 	copy(p.parents[row], seed.parents[srow])
+	p.maxDist[row] = seed.maxDist[srow]
 	p.valid[row] = p.stamp
 	return true
 }
@@ -295,6 +392,17 @@ type Metrics struct {
 	// stored SSSP tree cannot be proven exact by touched-edge intersection
 	// alone and is recomputed from scratch.
 	PlaneNonMonotone int
+	// PlaneSubtreeRepaired counts rows repaired by subtree-scoped Dijkstra
+	// resumption (routing.RepairSubtreesInto) instead of a full refill: only
+	// the stored subtrees below the touched tree edges were recomputed, the
+	// rest of the row was certified bitwise exact in place. Counted toward
+	// PlaneSources (a resumed Dijkstra still ran), disjoint from
+	// PlaneRepaired (full refills, including subtree bail-outs).
+	PlaneSubtreeRepaired int
+	// PlaneSubtreeNodes sums the invalidated-subtree sizes |S| over all
+	// subtree repairs; PlaneSubtreeNodes / (PlaneSubtreeRepaired x n) is the
+	// fraction of a row an average subtree repair actually recomputed.
+	PlaneSubtreeNodes int
 }
 
 // PlaneDedup returns PlaneRequests/PlaneSources, the average number of oracle
@@ -316,12 +424,15 @@ func (m Metrics) PlaneHitRate() float64 {
 }
 
 // RepairRate returns the fraction of cross-round row revalidations resolved
-// without a Dijkstra: skipped/(skipped+repaired) (0 when repair never ran).
+// without a full Dijkstra: (skipped+subtree)/(skipped+subtree+repaired)
+// (0 when repair never ran). Subtree repairs count as resolved — the full
+// refill was avoided — even though a partial Dijkstra ran.
 func (m Metrics) RepairRate() float64 {
-	if m.PlaneSkipped+m.PlaneRepaired == 0 {
+	resolved := m.PlaneSkipped + m.PlaneSubtreeRepaired
+	if resolved+m.PlaneRepaired == 0 {
 		return 0
 	}
-	return float64(m.PlaneSkipped) / float64(m.PlaneSkipped+m.PlaneRepaired)
+	return float64(resolved) / float64(resolved+m.PlaneRepaired)
 }
 
 // Merge adds o's counters into m (for folding per-subsolve metrics into an
@@ -335,4 +446,6 @@ func (m *Metrics) Merge(o Metrics) {
 	m.PlaneSeeded += o.PlaneSeeded
 	m.PlaneTreeHits += o.PlaneTreeHits
 	m.PlaneNonMonotone += o.PlaneNonMonotone
+	m.PlaneSubtreeRepaired += o.PlaneSubtreeRepaired
+	m.PlaneSubtreeNodes += o.PlaneSubtreeNodes
 }

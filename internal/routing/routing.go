@@ -312,6 +312,21 @@ type DijkstraScratch struct {
 	heap   *graph.IndexedHeap
 	dist   []float64
 	parent []graph.EdgeID
+
+	// OnPop, when non-nil, is called once per settled node in pop order by
+	// ShortestPathsInto and RepairSubtreesInto. It exists so tests can record
+	// and compare the deterministic (key, id) pop sequence — the property the
+	// subtree-repair path must reproduce bit-exactly; leave it nil on hot
+	// paths.
+	OnPop func(graph.NodeID)
+
+	// Subtree-repair scratch (see RepairSubtreesInto), lazily sized on first
+	// use: a generation-stamped membership mark for the invalidated set S and
+	// a matching stamp marking nodes whose parent is still their precomputed
+	// frontier offer (the equal-key replacement rule needs to know).
+	mark    []uint32
+	pend    []uint32
+	markGen uint32
 }
 
 // NewDijkstraScratch sizes a scratch for g.
@@ -353,6 +368,9 @@ func (sc *DijkstraScratch) ShortestPathsInto(g *graph.Graph, src graph.NodeID, d
 		v, dv := h.Pop()
 		if dv > dist[v] {
 			continue
+		}
+		if sc.OnPop != nil {
+			sc.OnPop(v)
 		}
 		ids, tos := g.Neighbors(v)
 		for k, id := range ids {

@@ -20,12 +20,14 @@ type Options struct {
 	// overlay.BatchOptions.Workers); a Group therefore runs up to
 	// Shards×Workers oracle workers in total.
 	Workers int
-	// SharedPlane/DisableRepair/Dynamic forward to every shard's BatchRunner
-	// (see overlay.BatchOptions). Each shard owns its own plane over its own
-	// ledger replica, so dirty-source repair stays shard-local.
-	SharedPlane   bool
-	DisableRepair bool
-	Dynamic       bool
+	// SharedPlane/DisableRepair/DisableSubtreeRepair/Dynamic forward to
+	// every shard's BatchRunner (see overlay.BatchOptions). Each shard owns
+	// its own plane over its own ledger replica, so dirty-source repair —
+	// including subtree repair — stays shard-local.
+	SharedPlane          bool
+	DisableRepair        bool
+	DisableSubtreeRepair bool
+	Dynamic              bool
 	// Trace, when set, observes every cut-edge PriceMsg in delivery order —
 	// the exchange-sequence hook the golden boundary test pins. Called on
 	// the coordinator goroutine, between batches.
@@ -168,10 +170,11 @@ func NewGroup(g *graph.Graph, oracles []overlay.TreeOracle, opts Options) *Group
 		w := &shardWorker{
 			group: gp,
 			runner: overlay.NewBatchRunnerOpts(g, perShard[s], overlay.BatchOptions{
-				Workers:       opts.Workers,
-				SharedPlane:   opts.SharedPlane,
-				DisableRepair: opts.DisableRepair,
-				Dynamic:       opts.Dynamic,
+				Workers:              opts.Workers,
+				SharedPlane:          opts.SharedPlane,
+				DisableRepair:        opts.DisableRepair,
+				DisableSubtreeRepair: opts.DisableSubtreeRepair,
+				Dynamic:              opts.Dynamic,
 			}),
 			req: make(chan roundReq),
 		}
